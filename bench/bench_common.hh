@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: command-line
+ * overrides for trajectory counts (so CI can run fast while full
+ * runs stay accurate) and small formatting utilities.
+ */
+
+#ifndef CASQ_BENCH_BENCH_COMMON_HH
+#define CASQ_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace casq::bench {
+
+/** Runtime knobs shared by all figure benches. */
+struct BenchConfig
+{
+    int trajectories = 160;   //!< per data point
+    int twirlInstances = 8;   //!< twirled circuit variants
+    std::uint64_t seed = 2024;
+    double scale = 1.0;       //!< workload scale (depth sweeps)
+};
+
+/**
+ * Parse --traj N, --twirls N, --seed N, --scale X flags plus the
+ * CASQ_TRAJ environment variable (lowest precedence).
+ */
+inline BenchConfig
+parseArgs(int argc, char **argv)
+{
+    BenchConfig config;
+    if (const char *env = std::getenv("CASQ_TRAJ"))
+        config.trajectories = std::atoi(env);
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (const char *v = next("--traj"))
+            config.trajectories = std::atoi(v);
+        else if (const char *v = next("--twirls"))
+            config.twirlInstances = std::atoi(v);
+        else if (const char *v = next("--seed"))
+            config.seed = std::strtoull(v, nullptr, 10);
+        else if (const char *v = next("--scale"))
+            config.scale = std::atof(v);
+    }
+    return config;
+}
+
+/** Print the paper's reference values for comparison. */
+inline void
+paperReference(const std::string &text)
+{
+    std::cout << "paper reference: " << text << "\n\n";
+}
+
+} // namespace casq::bench
+
+#endif // CASQ_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduction of paper Fig. 6: Floquet Ising evolution at the
+ * Clifford point on a 6-qubit chain.  The boundary observable
+ * <X0 X5> ideally alternates between +1 and -1; with only
+ * twirling the signal decays, while CA-EC and CA-DD recover it.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "experiments/floquet.hh"
+#include "passes/pipeline.hh"
+#include "sim/executor.hh"
+
+using namespace casq;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchConfig config = bench::parseArgs(argc, argv);
+
+    Backend backend = makeFakeLinear(6, 71);
+    for (const auto &edge : backend.coupling().edges())
+        backend.pair(edge.a, edge.b).zzRateMHz = 0.07;
+
+    const PauliString obs =
+        PauliString::two(6, 0, PauliOp::X, 5, PauliOp::X);
+    const std::vector<int> depths{1, 2, 3, 4, 5, 6, 7, 8};
+
+    const std::vector<std::pair<std::string, Strategy>> curves{
+        {"twirled only", Strategy::None},
+        {"ca-ec", Strategy::Ec},
+        {"ca-dd", Strategy::CaDd}};
+
+    std::vector<Series> series;
+    Series ideal;
+    ideal.name = "ideal";
+    {
+        const Executor executor(backend, NoiseModel::ideal());
+        for (int d : depths) {
+            const LayeredCircuit circuit = buildFloquetIsing(6, d);
+            const ScheduledCircuit sched = scheduleASAP(
+                circuit.flatten(), backend.durations());
+            ExecutionOptions exec;
+            exec.trajectories = 1;
+            ideal.values.push_back(
+                executor.run(sched, {obs}, exec).means[0]);
+        }
+    }
+    series.push_back(std::move(ideal));
+
+    const Executor executor(backend, NoiseModel::standard());
+    for (const auto &[name, strategy] : curves) {
+        Series s;
+        s.name = name;
+        for (int d : depths) {
+            const LayeredCircuit circuit = buildFloquetIsing(6, d);
+            CompileOptions compile;
+            compile.strategy = strategy;
+            compile.twirl = true;
+            const auto ensemble = compileEnsemble(
+                circuit, backend, compile, config.twirlInstances,
+                config.seed + 17 * d);
+            ExecutionOptions exec;
+            exec.trajectories = config.trajectories;
+            exec.seed = config.seed + d;
+            s.values.push_back(
+                executor.run(ensemble, {obs}, exec).means[0]);
+        }
+        series.push_back(std::move(s));
+    }
+
+    printFigure(std::cout,
+                "Fig. 6c -- Floquet Ising: <X0 X5> vs Floquet "
+                "step d (boundary qubits in |+>)",
+                "d",
+                std::vector<double>(depths.begin(), depths.end()),
+                series);
+    bench::paperReference(
+        "ideal alternates between +1 and -1; with only twirling "
+        "the oscillation amplitude collapses; compensating (CA-EC) "
+        "or decoupling (CA-DD) the boundary idle errors restores "
+        "most of the signal");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks backing the paper's complexity
+ * claims (Sec. IV): CA-DD scales as O(d^2 n) and CA-EC as O(d n)
+ * in circuit depth d and device size n.  Also covers the
+ * supporting machinery (scheduling, twirling, colouring).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "experiments/ramsey.hh"
+#include "passes/pipeline.hh"
+
+using namespace casq;
+
+namespace {
+
+/** Alternating ECR / idle layers on a chain of n qubits. */
+LayeredCircuit
+syntheticWorkload(std::size_t n, int depth)
+{
+    LayeredCircuit circuit(n, 0);
+    for (int d = 0; d < depth; ++d) {
+        Layer gates{LayerKind::TwoQubit, {}};
+        const std::uint32_t offset = (d % 2) ? 1 : 0;
+        for (std::uint32_t q = offset; q + 1 < n; q += 4)
+            gates.insts.emplace_back(
+                Op::ECR, std::vector<std::uint32_t>{q, q + 1});
+        circuit.addLayer(std::move(gates));
+        Layer ones{LayerKind::OneQubit, {}};
+        for (std::uint32_t q = 0; q < n; ++q)
+            ones.insts.emplace_back(Op::SX,
+                                    std::vector<std::uint32_t>{q});
+        circuit.addLayer(std::move(ones));
+    }
+    return circuit;
+}
+
+Backend
+chainBackend(std::size_t n)
+{
+    return makeFakeLinear(n, 7);
+}
+
+void
+BM_ScheduleAsap(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const Backend backend = chainBackend(n);
+    const Circuit flat =
+        syntheticWorkload(n, int(state.range(1))).flatten();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleASAP(flat, backend.durations()));
+    }
+    state.SetComplexityN(state.range(1));
+}
+
+void
+BM_CaDdPass(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const Backend backend = chainBackend(n);
+    const ScheduledCircuit sched = scheduleASAP(
+        syntheticWorkload(n, int(state.range(1))).flatten(),
+        backend.durations());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(applyCaDd(sched, backend));
+    state.SetComplexityN(state.range(1));
+}
+
+void
+BM_CaEcPass(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const Backend backend = chainBackend(n);
+    const LayeredCircuit circuit =
+        syntheticWorkload(n, int(state.range(1)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(applyCaEc(circuit, backend));
+    state.SetComplexityN(state.range(1));
+}
+
+void
+BM_PauliTwirl(benchmark::State &state)
+{
+    const LayeredCircuit circuit =
+        syntheticWorkload(std::size_t(state.range(0)), 16);
+    Rng rng(3);
+    TwirlTableCache cache;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pauliTwirl(circuit, rng, cache));
+}
+
+void
+BM_FullPipelineCompile(benchmark::State &state)
+{
+    const std::size_t n = 12;
+    const Backend backend = chainBackend(n);
+    const LayeredCircuit circuit =
+        syntheticWorkload(n, int(state.range(0)));
+    CompileOptions options;
+    options.strategy = Strategy::Combined;
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compileCircuit(circuit, backend, options, rng));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_ScheduleAsap)
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Args({16, 32})
+    ->Args({64, 16});
+
+BENCHMARK(BM_CaDdPass)
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Args({16, 32})
+    ->Args({64, 8})
+    ->Complexity(benchmark::oNSquared);
+
+BENCHMARK(BM_CaEcPass)
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Args({16, 32})
+    ->Args({16, 64})
+    ->Args({64, 16})
+    ->Complexity(benchmark::oN);
+
+BENCHMARK(BM_PauliTwirl)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK(BM_FullPipelineCompile)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,276 @@
+#include "circuit/circuit.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+Circuit::Circuit(std::size_t num_qubits, std::size_t num_clbits)
+    : _numQubits(num_qubits), _numClbits(num_clbits)
+{
+}
+
+void
+Circuit::validate(const Instruction &inst) const
+{
+    const std::size_t expect = opNumQubits(inst.op);
+    if (inst.op != Op::Barrier) {
+        casq_assert(inst.qubits.size() == expect, "op ", opName(inst.op),
+                    " expects ", expect, " qubits, got ",
+                    inst.qubits.size());
+    }
+    for (auto q : inst.qubits)
+        casq_assert(q < _numQubits, "qubit q", q, " out of range for ",
+                    _numQubits, "-qubit circuit");
+    casq_assert(inst.params.size() == opNumParams(inst.op) ||
+                inst.op == Op::Delay,
+                "op ", opName(inst.op), " expects ",
+                opNumParams(inst.op), " params, got ",
+                inst.params.size());
+    if (inst.op == Op::Measure)
+        casq_assert(inst.cbit >= 0 &&
+                    std::size_t(inst.cbit) < _numClbits,
+                    "measure clbit out of range");
+    if (inst.isConditional())
+        casq_assert(std::size_t(inst.condBit) < _numClbits,
+                    "condition clbit out of range");
+    if (inst.qubits.size() == 2)
+        casq_assert(inst.qubits[0] != inst.qubits[1],
+                    "two-qubit gate on identical qubits");
+}
+
+Circuit &
+Circuit::append(Instruction inst)
+{
+    validate(inst);
+    _insts.push_back(std::move(inst));
+    return *this;
+}
+
+Circuit &
+Circuit::append(const Circuit &other)
+{
+    casq_assert(other._numQubits <= _numQubits &&
+                other._numClbits <= _numClbits,
+                "appended circuit is wider than the target");
+    for (const auto &inst : other._insts)
+        append(inst);
+    return *this;
+}
+
+Circuit &
+Circuit::i(std::uint32_t q)
+{
+    return append(Instruction(Op::I, {q}));
+}
+
+Circuit &
+Circuit::x(std::uint32_t q)
+{
+    return append(Instruction(Op::X, {q}));
+}
+
+Circuit &
+Circuit::y(std::uint32_t q)
+{
+    return append(Instruction(Op::Y, {q}));
+}
+
+Circuit &
+Circuit::z(std::uint32_t q)
+{
+    return append(Instruction(Op::Z, {q}));
+}
+
+Circuit &
+Circuit::h(std::uint32_t q)
+{
+    return append(Instruction(Op::H, {q}));
+}
+
+Circuit &
+Circuit::s(std::uint32_t q)
+{
+    return append(Instruction(Op::S, {q}));
+}
+
+Circuit &
+Circuit::sdg(std::uint32_t q)
+{
+    return append(Instruction(Op::Sdg, {q}));
+}
+
+Circuit &
+Circuit::sx(std::uint32_t q)
+{
+    return append(Instruction(Op::SX, {q}));
+}
+
+Circuit &
+Circuit::sxdg(std::uint32_t q)
+{
+    return append(Instruction(Op::SXdg, {q}));
+}
+
+Circuit &
+Circuit::t(std::uint32_t q)
+{
+    return append(Instruction(Op::T, {q}));
+}
+
+Circuit &
+Circuit::tdg(std::uint32_t q)
+{
+    return append(Instruction(Op::Tdg, {q}));
+}
+
+Circuit &
+Circuit::rx(std::uint32_t q, double theta)
+{
+    return append(Instruction(Op::RX, {q}, {theta}));
+}
+
+Circuit &
+Circuit::ry(std::uint32_t q, double theta)
+{
+    return append(Instruction(Op::RY, {q}, {theta}));
+}
+
+Circuit &
+Circuit::rz(std::uint32_t q, double theta)
+{
+    return append(Instruction(Op::RZ, {q}, {theta}));
+}
+
+Circuit &
+Circuit::u(std::uint32_t q, double theta, double phi, double lam)
+{
+    return append(Instruction(Op::U, {q}, {theta, phi, lam}));
+}
+
+Circuit &
+Circuit::cx(std::uint32_t control, std::uint32_t target)
+{
+    return append(Instruction(Op::CX, {control, target}));
+}
+
+Circuit &
+Circuit::cz(std::uint32_t q0, std::uint32_t q1)
+{
+    return append(Instruction(Op::CZ, {q0, q1}));
+}
+
+Circuit &
+Circuit::ecr(std::uint32_t control, std::uint32_t target)
+{
+    return append(Instruction(Op::ECR, {control, target}));
+}
+
+Circuit &
+Circuit::rzz(std::uint32_t q0, std::uint32_t q1, double theta)
+{
+    return append(Instruction(Op::RZZ, {q0, q1}, {theta}));
+}
+
+Circuit &
+Circuit::can(std::uint32_t q0, std::uint32_t q1, double alpha,
+             double beta, double gamma)
+{
+    return append(Instruction(Op::Can, {q0, q1},
+                              {alpha, beta, gamma}));
+}
+
+Circuit &
+Circuit::swap(std::uint32_t q0, std::uint32_t q1)
+{
+    return append(Instruction(Op::Swap, {q0, q1}));
+}
+
+Circuit &
+Circuit::delay(std::uint32_t q, double duration_ns)
+{
+    casq_assert(duration_ns >= 0.0, "negative delay duration");
+    return append(Instruction(Op::Delay, {q}, {duration_ns}));
+}
+
+Circuit &
+Circuit::barrier()
+{
+    std::vector<std::uint32_t> all(_numQubits);
+    for (std::size_t q = 0; q < _numQubits; ++q)
+        all[q] = std::uint32_t(q);
+    return barrier(std::move(all));
+}
+
+Circuit &
+Circuit::barrier(std::vector<std::uint32_t> qubits)
+{
+    return append(Instruction(Op::Barrier, std::move(qubits)));
+}
+
+Circuit &
+Circuit::measure(std::uint32_t q, int cbit)
+{
+    Instruction inst(Op::Measure, {q});
+    inst.cbit = cbit;
+    return append(std::move(inst));
+}
+
+Circuit &
+Circuit::reset(std::uint32_t q)
+{
+    return append(Instruction(Op::Reset, {q}));
+}
+
+Circuit &
+Circuit::pauli(std::uint32_t q, int pauli_op)
+{
+    static const Op ops[] = {Op::I, Op::X, Op::Y, Op::Z};
+    casq_assert(pauli_op >= 0 && pauli_op < 4, "invalid Pauli index");
+    return append(Instruction(ops[pauli_op], {q}));
+}
+
+Circuit &
+Circuit::conditionedOn(int cbit, int value)
+{
+    casq_assert(!_insts.empty(), "conditionedOn with no instruction");
+    casq_assert(std::size_t(cbit) < _numClbits,
+                "condition clbit out of range");
+    _insts.back().condBit = cbit;
+    _insts.back().condValue = value;
+    return *this;
+}
+
+std::size_t
+Circuit::countOps(Op op) const
+{
+    std::size_t n = 0;
+    for (const auto &inst : _insts)
+        if (inst.op == op)
+            ++n;
+    return n;
+}
+
+std::size_t
+Circuit::countTwoQubitGates() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : _insts)
+        if (opIsTwoQubitGate(inst.op))
+            ++n;
+    return n;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << _numQubits << " qubits, " << _numClbits
+       << " clbits):\n";
+    for (const auto &inst : _insts)
+        os << "  " << inst.toString() << "\n";
+    return os.str();
+}
+
+} // namespace casq

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quantum circuit container with a fluent builder interface.
+ *
+ * A Circuit is an ordered instruction list over a fixed number of
+ * qubits and classical bits.  Compiler passes transform circuits;
+ * the scheduler lowers them to timed form for the simulator.
+ */
+
+#ifndef CASQ_CIRCUIT_CIRCUIT_HH
+#define CASQ_CIRCUIT_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/instruction.hh"
+
+namespace casq {
+
+/** An ordered list of instructions on qubits and classical bits. */
+class Circuit
+{
+  public:
+    /** Create an empty circuit. */
+    explicit Circuit(std::size_t num_qubits = 0,
+                     std::size_t num_clbits = 0);
+
+    std::size_t numQubits() const { return _numQubits; }
+    std::size_t numClbits() const { return _numClbits; }
+
+    const std::vector<Instruction> &instructions() const
+    {
+        return _insts;
+    }
+    std::vector<Instruction> &instructions() { return _insts; }
+
+    std::size_t size() const { return _insts.size(); }
+    bool empty() const { return _insts.empty(); }
+
+    /** Append a fully-formed instruction (operands validated). */
+    Circuit &append(Instruction inst);
+
+    /** Append all instructions of another circuit (same width). */
+    Circuit &append(const Circuit &other);
+
+    // Fluent builders for the common gates.  All return *this.
+    Circuit &i(std::uint32_t q);
+    Circuit &x(std::uint32_t q);
+    Circuit &y(std::uint32_t q);
+    Circuit &z(std::uint32_t q);
+    Circuit &h(std::uint32_t q);
+    Circuit &s(std::uint32_t q);
+    Circuit &sdg(std::uint32_t q);
+    Circuit &sx(std::uint32_t q);
+    Circuit &sxdg(std::uint32_t q);
+    Circuit &t(std::uint32_t q);
+    Circuit &tdg(std::uint32_t q);
+    Circuit &rx(std::uint32_t q, double theta);
+    Circuit &ry(std::uint32_t q, double theta);
+    Circuit &rz(std::uint32_t q, double theta);
+    Circuit &u(std::uint32_t q, double theta, double phi, double lam);
+    Circuit &cx(std::uint32_t control, std::uint32_t target);
+    Circuit &cz(std::uint32_t q0, std::uint32_t q1);
+    Circuit &ecr(std::uint32_t control, std::uint32_t target);
+    Circuit &rzz(std::uint32_t q0, std::uint32_t q1, double theta);
+    Circuit &can(std::uint32_t q0, std::uint32_t q1, double alpha,
+                 double beta, double gamma);
+    Circuit &swap(std::uint32_t q0, std::uint32_t q1);
+    Circuit &delay(std::uint32_t q, double duration_ns);
+    Circuit &barrier();
+    Circuit &barrier(std::vector<std::uint32_t> qubits);
+    Circuit &measure(std::uint32_t q, int cbit);
+    Circuit &reset(std::uint32_t q);
+
+    /** Apply a Pauli gate by enum (used by twirling). */
+    Circuit &pauli(std::uint32_t q, int pauli_op);
+
+    /**
+     * Make the most recently appended instruction conditional on the
+     * classical bit (dynamic-circuit feedforward).
+     */
+    Circuit &conditionedOn(int cbit, int value = 1);
+
+    /** Number of instructions matching a predicate-free op. */
+    std::size_t countOps(Op op) const;
+
+    /** Total number of two-qubit gates. */
+    std::size_t countTwoQubitGates() const;
+
+    /** Multi-line dump, one instruction per line. */
+    std::string toString() const;
+
+  private:
+    std::size_t _numQubits = 0;
+    std::size_t _numClbits = 0;
+    std::vector<Instruction> _insts;
+
+    void validate(const Instruction &inst) const;
+};
+
+} // namespace casq
+
+#endif // CASQ_CIRCUIT_CIRCUIT_HH

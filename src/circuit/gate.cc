@@ -1,0 +1,146 @@
+#include "circuit/gate.hh"
+
+#include "common/logging.hh"
+
+namespace casq {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::I: return "id";
+      case Op::X: return "x";
+      case Op::Y: return "y";
+      case Op::Z: return "z";
+      case Op::H: return "h";
+      case Op::S: return "s";
+      case Op::Sdg: return "sdg";
+      case Op::SX: return "sx";
+      case Op::SXdg: return "sxdg";
+      case Op::T: return "t";
+      case Op::Tdg: return "tdg";
+      case Op::RX: return "rx";
+      case Op::RY: return "ry";
+      case Op::RZ: return "rz";
+      case Op::U: return "u";
+      case Op::CX: return "cx";
+      case Op::CZ: return "cz";
+      case Op::ECR: return "ecr";
+      case Op::RZZ: return "rzz";
+      case Op::Can: return "can";
+      case Op::Swap: return "swap";
+      case Op::Delay: return "delay";
+      case Op::Barrier: return "barrier";
+      case Op::Measure: return "measure";
+      case Op::Reset: return "reset";
+    }
+    casq_panic("invalid Op");
+}
+
+std::size_t
+opNumQubits(Op op)
+{
+    switch (op) {
+      case Op::CX:
+      case Op::CZ:
+      case Op::ECR:
+      case Op::RZZ:
+      case Op::Can:
+      case Op::Swap:
+        return 2;
+      case Op::Barrier:
+        return 0; // variadic
+      default:
+        return 1;
+    }
+}
+
+std::size_t
+opNumParams(Op op)
+{
+    switch (op) {
+      case Op::RX:
+      case Op::RY:
+      case Op::RZ:
+      case Op::RZZ:
+      case Op::Delay:
+        return 1;
+      case Op::U:
+      case Op::Can:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+bool
+opIsUnitary(Op op)
+{
+    switch (op) {
+      case Op::Delay:
+      case Op::Barrier:
+      case Op::Measure:
+      case Op::Reset:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+opIsTwoQubitGate(Op op)
+{
+    return opIsUnitary(op) && opNumQubits(op) == 2;
+}
+
+bool
+opIsDiagonal(Op op)
+{
+    switch (op) {
+      case Op::I:
+      case Op::Z:
+      case Op::S:
+      case Op::Sdg:
+      case Op::T:
+      case Op::Tdg:
+      case Op::RZ:
+      case Op::CZ:
+      case Op::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsVirtual(Op op)
+{
+    switch (op) {
+      case Op::I:
+      case Op::Z:
+      case Op::S:
+      case Op::Sdg:
+      case Op::T:
+      case Op::Tdg:
+      case Op::RZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsPauli(Op op)
+{
+    switch (op) {
+      case Op::I:
+      case Op::X:
+      case Op::Y:
+      case Op::Z:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace casq

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Gate opcodes and static gate metadata.
+ *
+ * The native hardware set modelled after IBM cross-resonance devices
+ * is {rz, sx, x, ecr, measure, delay, reset}; rz is virtual (zero
+ * duration, implemented as a frame change, paper Sec. IV B).  The
+ * remaining opcodes are logical-level conveniences that the
+ * transpiler lowers to the native set.
+ */
+
+#ifndef CASQ_CIRCUIT_GATE_HH
+#define CASQ_CIRCUIT_GATE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace casq {
+
+/** Operation codes for circuit instructions. */
+enum class Op
+{
+    // Single-qubit unitaries.
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    SX,
+    SXdg,
+    T,
+    Tdg,
+    RX,
+    RY,
+    RZ,
+    U,    //!< U(theta, phi, lambda), paper Eq. (4) Euler form
+
+    // Two-qubit unitaries.
+    CX,   //!< qubits[0] = control, qubits[1] = target
+    CZ,
+    ECR,  //!< echoed cross resonance; qubits[0] = control
+    RZZ,  //!< exp(-i theta/2 Z(x)Z); native pulse-stretched version
+    Can,  //!< exp(+i(a XX + b YY + c ZZ)), paper Eq. (5)
+    Swap,
+
+    // Non-unitary / timing.
+    Delay,    //!< params[0] = duration in ns
+    Barrier,
+    Measure,  //!< writes to clbits[0]
+    Reset,
+};
+
+/** Printable lower-case mnemonic, e.g. "ecr". */
+const char *opName(Op op);
+
+/** Number of qubit operands (Barrier is variadic and reports 0). */
+std::size_t opNumQubits(Op op);
+
+/** Number of floating-point parameters. */
+std::size_t opNumParams(Op op);
+
+/** True for gates that implement a unitary (not delay/measure/...). */
+bool opIsUnitary(Op op);
+
+/** True for two-qubit unitary gates. */
+bool opIsTwoQubitGate(Op op);
+
+/**
+ * True for gates that are diagonal in the computational basis; these
+ * commute with Z-type crosstalk errors, which Algorithm 2 exploits.
+ */
+bool opIsDiagonal(Op op);
+
+/**
+ * True for gates executed as virtual frame changes with zero duration
+ * and zero error (rz and its diagonal Clifford specializations).
+ */
+bool opIsVirtual(Op op);
+
+/** True for single-qubit Pauli gates (used by twirl bookkeeping). */
+bool opIsPauli(Op op);
+
+} // namespace casq
+
+#endif // CASQ_CIRCUIT_GATE_HH

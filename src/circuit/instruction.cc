@@ -1,0 +1,58 @@
+#include "circuit/instruction.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+double
+Instruction::delayDuration() const
+{
+    casq_assert(op == Op::Delay && params.size() == 1,
+                "delayDuration on non-delay instruction");
+    return params[0];
+}
+
+bool
+Instruction::actsOn(std::uint32_t qubit) const
+{
+    return std::find(qubits.begin(), qubits.end(), qubit) !=
+           qubits.end();
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    if (!params.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < params.size(); ++i)
+            os << (i ? ", " : "") << params[i];
+        os << ")";
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        os << (i ? ", q" : " q") << qubits[i];
+    if (op == Op::Measure)
+        os << " -> c" << cbit;
+    if (isConditional())
+        os << " if c" << condBit << "==" << condValue;
+    switch (tag) {
+      case InstTag::DD:
+        os << " [dd]";
+        break;
+      case InstTag::Twirl:
+        os << " [twirl]";
+        break;
+      case InstTag::Compensation:
+        os << " [comp]";
+        break;
+      case InstTag::None:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace casq

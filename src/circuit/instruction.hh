@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A single circuit instruction: opcode, qubit/clbit operands,
+ * parameters, optional classical condition, and an annotation used by
+ * the compiler passes to tag inserted gates (dynamical-decoupling
+ * pulses, twirl Paulis, compensation rotations).
+ */
+
+#ifndef CASQ_CIRCUIT_INSTRUCTION_HH
+#define CASQ_CIRCUIT_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+
+namespace casq {
+
+/** Provenance tag for instructions inserted by compiler passes. */
+enum class InstTag : std::uint8_t
+{
+    None = 0,     //!< part of the user's logical circuit
+    DD,           //!< dynamical-decoupling pulse
+    Twirl,        //!< Pauli-twirl gate
+    Compensation, //!< error-compensation rotation (CA-EC)
+};
+
+/** A single operation on qubits (and possibly classical bits). */
+struct Instruction
+{
+    Op op = Op::I;
+    std::vector<std::uint32_t> qubits;
+    std::vector<double> params;
+
+    /** Classical bit written by Measure; unused otherwise. */
+    int cbit = -1;
+
+    /**
+     * If >= 0, the instruction only executes when classical bit
+     * condBit equals condValue (dynamic-circuit feedforward).
+     */
+    int condBit = -1;
+    int condValue = 1;
+
+    InstTag tag = InstTag::None;
+
+    Instruction() = default;
+
+    Instruction(Op o, std::vector<std::uint32_t> qs,
+                std::vector<double> ps = {})
+        : op(o), qubits(std::move(qs)), params(std::move(ps))
+    {
+    }
+
+    /** Duration parameter of a Delay instruction. */
+    double delayDuration() const;
+
+    /** True when this instruction carries a classical condition. */
+    bool isConditional() const { return condBit >= 0; }
+
+    /** Acts on the given qubit? */
+    bool actsOn(std::uint32_t qubit) const;
+
+    /** e.g. "ecr q1, q2" or "rz(0.25) q0 [comp]". */
+    std::string toString() const;
+};
+
+} // namespace casq
+
+#endif // CASQ_CIRCUIT_INSTRUCTION_HH

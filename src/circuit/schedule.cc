@@ -1,0 +1,199 @@
+#include "circuit/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+namespace {
+
+std::uint64_t
+pairKey(std::uint32_t a, std::uint32_t b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return (std::uint64_t(a) << 32) | b;
+}
+
+} // namespace
+
+void
+GateDurations::setPairDuration(std::uint32_t a, std::uint32_t b,
+                               double duration_ns)
+{
+    twoQubitOverride[pairKey(a, b)] = duration_ns;
+}
+
+double
+GateDurations::of(const Instruction &inst) const
+{
+    if (opIsVirtual(inst.op))
+        return 0.0;
+    switch (inst.op) {
+      case Op::Delay:
+        return inst.delayDuration();
+      case Op::Barrier:
+        return 0.0;
+      case Op::Measure:
+        return measure;
+      case Op::Reset:
+        return reset;
+      case Op::Can: {
+        // A canonical block is three echoed two-qubit gates; its
+        // length inherits the pair's calibrated gate length.
+        auto it = twoQubitOverride.find(
+            pairKey(inst.qubits[0], inst.qubits[1]));
+        if (it != twoQubitOverride.end())
+            return canonical * it->second / twoQubit;
+        return canonical;
+      }
+      case Op::RZZ: {
+        // Pulse stretching: duration scales with the rotation angle
+        // (paper Sec. IV B), with a floor for the shortest pulse.
+        constexpr double kHalfPi = 1.57079632679489661923;
+        double theta = std::fmod(std::abs(inst.params[0]),
+                                 2.0 * 3.14159265358979323846);
+        if (theta > 3.14159265358979323846)
+            theta = 2.0 * 3.14159265358979323846 - theta;
+        return std::max(rzzMin, rzzFull * theta / kHalfPi);
+      }
+      default:
+        if (opNumQubits(inst.op) == 2) {
+            auto it = twoQubitOverride.find(
+                pairKey(inst.qubits[0], inst.qubits[1]));
+            return it != twoQubitOverride.end() ? it->second
+                                                : twoQubit;
+        }
+        return oneQubit;
+    }
+}
+
+void
+ScheduledCircuit::add(TimedInstruction timed)
+{
+    _totalDuration = std::max(_totalDuration, timed.end());
+    _insts.push_back(std::move(timed));
+}
+
+void
+ScheduledCircuit::sortByStart()
+{
+    std::stable_sort(_insts.begin(), _insts.end(),
+                     [](const TimedInstruction &a,
+                        const TimedInstruction &b) {
+                         return a.start < b.start;
+                     });
+}
+
+int
+ScheduledCircuit::findOverlap() const
+{
+    // Gather per-qubit busy intervals and check pairwise overlap.
+    std::map<std::uint32_t, std::vector<std::pair<double, double>>>
+        busy;
+    for (const auto &t : _insts) {
+        // Delays are idle time: DD pulses may be placed into them.
+        if (t.inst.op == Op::Barrier || t.inst.op == Op::Delay ||
+            t.duration <= 0.0) {
+            continue;
+        }
+        for (auto q : t.inst.qubits)
+            busy[q].emplace_back(t.start, t.end());
+    }
+    for (auto &[qubit, spans] : busy) {
+        std::sort(spans.begin(), spans.end());
+        for (std::size_t i = 1; i < spans.size(); ++i) {
+            if (spans[i].first < spans[i - 1].second - 1e-9)
+                return int(qubit);
+        }
+    }
+    return -1;
+}
+
+std::vector<IdleWindow>
+ScheduledCircuit::idleWindows(double min_duration) const
+{
+    std::vector<std::vector<std::pair<double, double>>> busy(
+        _numQubits);
+    for (const auto &t : _insts) {
+        if (t.inst.op == Op::Barrier || t.inst.op == Op::Delay)
+            continue;
+        for (auto q : t.inst.qubits)
+            busy[q].emplace_back(t.start, t.end());
+    }
+    std::vector<IdleWindow> windows;
+    for (std::uint32_t q = 0; q < _numQubits; ++q) {
+        auto &spans = busy[q];
+        std::sort(spans.begin(), spans.end());
+        double cursor = 0.0;
+        for (const auto &[s, e] : spans) {
+            if (s - cursor >= min_duration)
+                windows.push_back(IdleWindow{q, cursor, s});
+            cursor = std::max(cursor, e);
+        }
+        if (_totalDuration - cursor >= min_duration)
+            windows.push_back(IdleWindow{q, cursor, _totalDuration});
+    }
+    return windows;
+}
+
+std::string
+ScheduledCircuit::toString() const
+{
+    std::ostringstream os;
+    os << "scheduled(" << _numQubits << " qubits, duration "
+       << _totalDuration << " ns):\n";
+    for (const auto &t : _insts) {
+        os << "  [" << t.start << ", " << t.end() << ") "
+           << t.inst.toString() << "\n";
+    }
+    return os.str();
+}
+
+ScheduledCircuit
+scheduleASAP(const Circuit &circuit, const GateDurations &durations)
+{
+    ScheduledCircuit out(circuit.numQubits(), circuit.numClbits());
+    std::vector<double> qubit_time(circuit.numQubits(), 0.0);
+    std::vector<double> clbit_time(circuit.numClbits(), 0.0);
+
+    for (const auto &inst : circuit.instructions()) {
+        if (inst.op == Op::Barrier) {
+            const auto &qs = inst.qubits;
+            double sync = 0.0;
+            if (qs.empty()) {
+                for (double t : qubit_time)
+                    sync = std::max(sync, t);
+                for (auto &t : qubit_time)
+                    t = sync;
+            } else {
+                for (auto q : qs)
+                    sync = std::max(sync, qubit_time[q]);
+                for (auto q : qs)
+                    qubit_time[q] = sync;
+            }
+            continue;
+        }
+        double start = 0.0;
+        for (auto q : inst.qubits)
+            start = std::max(start, qubit_time[q]);
+        if (inst.isConditional()) {
+            start = std::max(start, clbit_time[inst.condBit] +
+                                        durations.feedforward);
+        }
+        const double dur = durations.of(inst);
+        for (auto q : inst.qubits)
+            qubit_time[q] = start + dur;
+        if (inst.op == Op::Measure)
+            clbit_time[inst.cbit] = start + dur;
+        out.add(TimedInstruction{inst, start, dur});
+    }
+    out.sortByStart();
+    return out;
+}
+
+} // namespace casq

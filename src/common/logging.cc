@@ -1,0 +1,50 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace casq {
+
+namespace {
+LogLevel global_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+namespace detail {
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::cerr << prefix << msg << std::endl;
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace casq

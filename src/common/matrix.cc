@@ -1,0 +1,227 @@
+#include "common/matrix.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+CMat::CMat(std::size_t rows, std::size_t cols)
+    : _rows(rows), _cols(cols), _data(rows * cols)
+{
+}
+
+CMat::CMat(std::initializer_list<std::initializer_list<Complex>> rows)
+{
+    _rows = rows.size();
+    _cols = _rows ? rows.begin()->size() : 0;
+    _data.reserve(_rows * _cols);
+    for (const auto &row : rows) {
+        casq_assert(row.size() == _cols,
+                    "ragged initializer list for CMat");
+        for (const auto &v : row)
+            _data.push_back(v);
+    }
+}
+
+CMat
+CMat::identity(std::size_t n)
+{
+    CMat m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+CMat
+CMat::zero(std::size_t rows, std::size_t cols)
+{
+    return CMat(rows, cols);
+}
+
+CMat
+CMat::diagonal(const std::vector<Complex> &entries)
+{
+    CMat m(entries.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        m(i, i) = entries[i];
+    return m;
+}
+
+Complex &
+CMat::operator()(std::size_t r, std::size_t c)
+{
+    return _data[r * _cols + c];
+}
+
+const Complex &
+CMat::operator()(std::size_t r, std::size_t c) const
+{
+    return _data[r * _cols + c];
+}
+
+CMat
+CMat::operator*(const CMat &rhs) const
+{
+    casq_assert(_cols == rhs._rows, "matrix dimension mismatch in mul: ",
+                _rows, "x", _cols, " * ", rhs._rows, "x", rhs._cols);
+    CMat out(_rows, rhs._cols);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        for (std::size_t k = 0; k < _cols; ++k) {
+            const Complex a = (*this)(i, k);
+            if (a == Complex{})
+                continue;
+            for (std::size_t j = 0; j < rhs._cols; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+CMat
+CMat::operator+(const CMat &rhs) const
+{
+    casq_assert(_rows == rhs._rows && _cols == rhs._cols,
+                "matrix shape mismatch in add");
+    CMat out(_rows, _cols);
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        out._data[i] = _data[i] + rhs._data[i];
+    return out;
+}
+
+CMat
+CMat::operator-(const CMat &rhs) const
+{
+    casq_assert(_rows == rhs._rows && _cols == rhs._cols,
+                "matrix shape mismatch in sub");
+    CMat out(_rows, _cols);
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        out._data[i] = _data[i] - rhs._data[i];
+    return out;
+}
+
+CMat
+CMat::operator*(Complex scale) const
+{
+    CMat out(_rows, _cols);
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        out._data[i] = _data[i] * scale;
+    return out;
+}
+
+CMat
+CMat::dagger() const
+{
+    CMat out(_cols, _rows);
+    for (std::size_t i = 0; i < _rows; ++i)
+        for (std::size_t j = 0; j < _cols; ++j)
+            out(j, i) = std::conj((*this)(i, j));
+    return out;
+}
+
+CMat
+CMat::kron(const CMat &rhs) const
+{
+    CMat out(_rows * rhs._rows, _cols * rhs._cols);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        for (std::size_t j = 0; j < _cols; ++j) {
+            const Complex a = (*this)(i, j);
+            if (a == Complex{})
+                continue;
+            for (std::size_t k = 0; k < rhs._rows; ++k)
+                for (std::size_t l = 0; l < rhs._cols; ++l)
+                    out(i * rhs._rows + k, j * rhs._cols + l) =
+                        a * rhs(k, l);
+        }
+    }
+    return out;
+}
+
+Complex
+CMat::trace() const
+{
+    casq_assert(_rows == _cols, "trace of non-square matrix");
+    Complex t{};
+    for (std::size_t i = 0; i < _rows; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+CMat::maxAbsDiff(const CMat &rhs) const
+{
+    casq_assert(_rows == rhs._rows && _cols == rhs._cols,
+                "matrix shape mismatch in maxAbsDiff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        m = std::max(m, std::abs(_data[i] - rhs._data[i]));
+    return m;
+}
+
+bool
+CMat::approxEqual(const CMat &rhs, double tol) const
+{
+    if (_rows != rhs._rows || _cols != rhs._cols)
+        return false;
+    return maxAbsDiff(rhs) <= tol;
+}
+
+bool
+CMat::equalUpToGlobalPhase(const CMat &rhs, double tol) const
+{
+    if (_rows != rhs._rows || _cols != rhs._cols)
+        return false;
+    // Find the largest-magnitude entry of rhs to extract the phase.
+    std::size_t best = 0;
+    double best_mag = 0.0;
+    for (std::size_t i = 0; i < rhs._data.size(); ++i) {
+        const double mag = std::abs(rhs._data[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    if (best_mag < tol)
+        return maxAbsDiff(rhs) <= tol;
+    if (std::abs(_data[best]) < tol)
+        return false;
+    const Complex phase = _data[best] / rhs._data[best];
+    if (std::abs(std::abs(phase) - 1.0) > tol)
+        return false;
+    return approxEqual(rhs * phase, tol);
+}
+
+bool
+CMat::isUnitary(double tol) const
+{
+    if (_rows != _cols)
+        return false;
+    return ((*this) * dagger()).approxEqual(identity(_rows), tol);
+}
+
+std::string
+CMat::toString(int precision) const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        os << "[ ";
+        for (std::size_t j = 0; j < _cols; ++j) {
+            const Complex v = (*this)(i, j);
+            os << std::setw(7) << v.real() << (v.imag() < 0 ? "-" : "+")
+               << std::setw(6) << std::abs(v.imag()) << "i ";
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+CMat
+kron(const CMat &a, const CMat &b)
+{
+    return a.kron(b);
+}
+
+} // namespace casq

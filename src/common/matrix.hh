@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small dense complex matrices used for gate unitaries (2x2, 4x4 and
+ * occasionally 8x8 in tests).  This is deliberately a minimal
+ * value-semantics container: the statevector simulator has its own
+ * specialized kernels and only consumes the raw elements.
+ */
+
+#ifndef CASQ_COMMON_MATRIX_HH
+#define CASQ_COMMON_MATRIX_HH
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace casq {
+
+using Complex = std::complex<double>;
+
+/** Dense row-major complex matrix with value semantics. */
+class CMat
+{
+  public:
+    /** Construct an empty (0x0) matrix. */
+    CMat() = default;
+
+    /** Construct a zero-filled rows x cols matrix. */
+    CMat(std::size_t rows, std::size_t cols);
+
+    /**
+     * Construct from a nested initializer list, e.g.
+     * CMat{{1, 0}, {0, 1}}.
+     */
+    CMat(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** Identity matrix of dimension n. */
+    static CMat identity(std::size_t n);
+
+    /** Zero matrix of dimension rows x cols. */
+    static CMat zero(std::size_t rows, std::size_t cols);
+
+    /** Diagonal matrix from the given entries. */
+    static CMat diagonal(const std::vector<Complex> &entries);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+
+    Complex &operator()(std::size_t r, std::size_t c);
+    const Complex &operator()(std::size_t r, std::size_t c) const;
+
+    /** Raw row-major element access for simulator kernels. */
+    const std::vector<Complex> &data() const { return _data; }
+
+    CMat operator*(const CMat &rhs) const;
+    CMat operator+(const CMat &rhs) const;
+    CMat operator-(const CMat &rhs) const;
+    CMat operator*(Complex scale) const;
+
+    /** Conjugate transpose. */
+    CMat dagger() const;
+
+    /** Kronecker product; `this` acts on the more significant space. */
+    CMat kron(const CMat &rhs) const;
+
+    /** Sum of diagonal entries. */
+    Complex trace() const;
+
+    /** Largest elementwise |a - b|; matrices must be the same shape. */
+    double maxAbsDiff(const CMat &rhs) const;
+
+    /** True if max elementwise difference is below tol. */
+    bool approxEqual(const CMat &rhs, double tol = 1e-9) const;
+
+    /**
+     * True if the two matrices differ only by a global phase, i.e.
+     * a = e^{i phi} b for some real phi.
+     */
+    bool equalUpToGlobalPhase(const CMat &rhs, double tol = 1e-9) const;
+
+    /** True if U * U^dagger is the identity to within tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** Human-readable dump, mainly for test failure messages. */
+    std::string toString(int precision = 3) const;
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<Complex> _data;
+};
+
+/** Convenience free-function Kronecker product. */
+CMat kron(const CMat &a, const CMat &b);
+
+} // namespace casq
+
+#endif // CASQ_COMMON_MATRIX_HH

@@ -1,0 +1,144 @@
+#include "common/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+SummaryStat
+summarize(const std::vector<double> &samples)
+{
+    SummaryStat s;
+    s.count = samples.size();
+    if (s.count == 0)
+        return s;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / s.count;
+    if (s.count < 2)
+        return s;
+    double ss = 0.0;
+    for (double v : samples)
+        ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / (s.count - 1));
+    s.stderror = s.stddev / std::sqrt(double(s.count));
+    return s;
+}
+
+LineFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    casq_assert(xs.size() == ys.size() && xs.size() >= 2,
+                "linearFit needs >= 2 matching samples");
+    const double n = double(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LineFit fit;
+    if (std::abs(denom) < 1e-30) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    return fit;
+}
+
+DecayFit
+fitExpDecay(const std::vector<double> &xs, const std::vector<double> &ys,
+            double floor)
+{
+    std::vector<double> logy;
+    logy.reserve(ys.size());
+    for (double y : ys)
+        logy.push_back(std::log(std::max(y, floor)));
+    const LineFit line = linearFit(xs, logy);
+    DecayFit fit;
+    fit.amplitude = std::exp(line.intercept);
+    fit.lambda = std::exp(line.slope);
+    return fit;
+}
+
+namespace {
+
+/**
+ * For a fixed lambda, the optimal amplitude of
+ * sum_d (noisy_d - A * lambda^d * ideal_d)^2 has the closed form
+ * A = sum(noisy*ideal*l^d) / sum((ideal*l^d)^2).  Returns the
+ * residual at that optimum (and the amplitude through the out param).
+ */
+double
+residualAtLambda(double lambda, const std::vector<double> &depths,
+                 const std::vector<double> &noisy,
+                 const std::vector<double> &ideal, double &amplitude)
+{
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        const double m = std::pow(lambda, depths[i]) * ideal[i];
+        num += noisy[i] * m;
+        den += m * m;
+    }
+    amplitude = den > 1e-30 ? num / den : 1.0;
+    double res = 0.0;
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        const double m = amplitude * std::pow(lambda, depths[i]) *
+                         ideal[i];
+        res += (noisy[i] - m) * (noisy[i] - m);
+    }
+    return res;
+}
+
+} // namespace
+
+DecayFit
+fitScaledDecay(const std::vector<double> &depths,
+               const std::vector<double> &noisy,
+               const std::vector<double> &ideal, double lo, double hi)
+{
+    casq_assert(depths.size() == noisy.size() &&
+                depths.size() == ideal.size() && !depths.empty(),
+                "fitScaledDecay needs matching non-empty samples");
+    // Golden-section search for the lambda minimizing the residual.
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo, b = hi;
+    double amp = 1.0;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double c = b - phi * (b - a);
+        const double d = a + phi * (b - a);
+        double amp_c, amp_d;
+        const double fc = residualAtLambda(c, depths, noisy, ideal,
+                                           amp_c);
+        const double fd = residualAtLambda(d, depths, noisy, ideal,
+                                           amp_d);
+        if (fc < fd)
+            b = d;
+        else
+            a = c;
+    }
+    DecayFit fit;
+    fit.lambda = (a + b) / 2.0;
+    residualAtLambda(fit.lambda, depths, noisy, ideal, amp);
+    fit.amplitude = amp;
+    return fit;
+}
+
+double
+samplingOverhead(const DecayFit &fit, double depth)
+{
+    const double scale = fit.amplitude * std::pow(fit.lambda, depth);
+    if (scale <= 1e-12)
+        return 1e24;
+    const double factor = 1.0 / scale;
+    return factor * factor;
+}
+
+} // namespace casq

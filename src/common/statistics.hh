@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Statistics helpers shared by the experiment protocols: summary
+ * statistics, least-squares line fits, and the exponential-decay fits
+ * used for layer-fidelity estimation and mitigation-overhead
+ * estimation (paper Secs. V C-V D).
+ */
+
+#ifndef CASQ_COMMON_STATISTICS_HH
+#define CASQ_COMMON_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace casq {
+
+/** Summary of a sample: mean, stddev and standard error. */
+struct SummaryStat
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double stderror = 0.0;
+    std::size_t count = 0;
+};
+
+/** Compute mean / stddev / standard error of the samples. */
+SummaryStat summarize(const std::vector<double> &samples);
+
+/** Result of a straight-line least-squares fit y = slope*x + icept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+};
+
+/** Ordinary least squares on (xs, ys); sizes must match and be >= 2. */
+LineFit linearFit(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/** Result of an exponential-decay fit y = amplitude * lambda^x. */
+struct DecayFit
+{
+    double amplitude = 1.0;
+    double lambda = 1.0;
+};
+
+/**
+ * Fit y = A * lambda^x by log-linear least squares.  Non-positive y
+ * samples are clipped to `floor` before taking logs; this matches the
+ * standard randomized-benchmarking style decay fit.
+ */
+DecayFit fitExpDecay(const std::vector<double> &xs,
+                     const std::vector<double> &ys,
+                     double floor = 1e-4);
+
+/**
+ * Fit noisy_d ~= A * lambda^d * ideal_d, the global-depolarizing
+ * rescaling model the paper uses to estimate mitigation overhead
+ * (Sec. V B).  Minimizes the summed squared residual over A and
+ * lambda via golden-section search on lambda in (lo, hi).
+ */
+DecayFit fitScaledDecay(const std::vector<double> &depths,
+                        const std::vector<double> &noisy,
+                        const std::vector<double> &ideal,
+                        double lo = 0.05, double hi = 1.5);
+
+/**
+ * Sampling-overhead proxy for an error-mitigated estimator whose raw
+ * signal was rescaled by 1 / (A * lambda^d): the variance grows by
+ * the square of the rescaling factor.
+ */
+double samplingOverhead(const DecayFit &fit, double depth);
+
+} // namespace casq
+
+#endif // CASQ_COMMON_STATISTICS_HH

@@ -1,0 +1,89 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    casq_assert(cells.size() == _headers.size(),
+                "table row width mismatch");
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(int(widths[c] + 2))
+               << cells[c];
+        }
+        os << "\n";
+    };
+
+    print_row(_headers);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+void
+printFigure(std::ostream &os, const std::string &title,
+            const std::string &x_label, const std::vector<double> &xs,
+            const std::vector<Series> &series, int precision)
+{
+    printBanner(os, title);
+    std::vector<std::string> headers{x_label};
+    for (const auto &s : series) {
+        casq_assert(s.values.size() == xs.size(),
+                    "series '", s.name, "' length mismatch");
+        headers.push_back(s.name);
+    }
+    Table table(std::move(headers));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<std::string> row;
+        row.push_back(Table::fmt(xs[i], xs[i] == int(xs[i]) ? 0 : 3));
+        for (const auto &s : series)
+            row.push_back(Table::fmt(s.values[i], precision));
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+    os << "\n";
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "== " << title << " ==\n";
+}
+
+} // namespace casq

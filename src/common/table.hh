@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table and data-series printers used by the benchmark
+ * harnesses to emit the rows/series corresponding to each paper
+ * figure and table.
+ */
+
+#ifndef CASQ_COMMON_TABLE_HH
+#define CASQ_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace casq {
+
+/** Simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double value, int precision = 4);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * A named y-series over a shared x-axis, used to print
+ * "figure-shaped" output (one column per curve).
+ */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/**
+ * Print a figure as an aligned table: one row per x value, one column
+ * per series.  Used by every fig*_ bench binary.
+ */
+void printFigure(std::ostream &os, const std::string &title,
+                 const std::string &x_label,
+                 const std::vector<double> &xs,
+                 const std::vector<Series> &series, int precision = 4);
+
+/** Print a `== title ==` banner. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace casq
+
+#endif // CASQ_COMMON_TABLE_HH

@@ -1,0 +1,211 @@
+#include "device/backend.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace casq {
+
+Backend::Backend(std::string name, CouplingMap coupling)
+    : _name(std::move(name)),
+      _coupling(std::move(coupling)),
+      _qubits(_coupling.numQubits())
+{
+    for (const auto &edge : _coupling.edges())
+        _pairs[edge] = PairProperties{};
+    _physicalLabels.resize(numQubits());
+    for (std::size_t q = 0; q < numQubits(); ++q)
+        _physicalLabels[q] = std::uint32_t(q);
+}
+
+QubitProperties &
+Backend::qubit(std::uint32_t q)
+{
+    casq_assert(q < numQubits(), "qubit out of range");
+    return _qubits[q];
+}
+
+const QubitProperties &
+Backend::qubit(std::uint32_t q) const
+{
+    casq_assert(q < numQubits(), "qubit out of range");
+    return _qubits[q];
+}
+
+PairProperties &
+Backend::pair(std::uint32_t a, std::uint32_t b)
+{
+    auto it = _pairs.find(QubitPair(a, b));
+    casq_assert(it != _pairs.end(), "no pair (", a, ", ", b, ") on ",
+                _name);
+    return it->second;
+}
+
+const PairProperties &
+Backend::pair(std::uint32_t a, std::uint32_t b) const
+{
+    auto it = _pairs.find(QubitPair(a, b));
+    casq_assert(it != _pairs.end(), "no pair (", a, ", ", b, ") on ",
+                _name);
+    return it->second;
+}
+
+bool
+Backend::hasPair(std::uint32_t a, std::uint32_t b) const
+{
+    return _pairs.count(QubitPair(a, b)) > 0;
+}
+
+void
+Backend::addNnnPair(std::uint32_t a, std::uint32_t b,
+                    double zz_rate_mhz)
+{
+    casq_assert(!_coupling.hasEdge(a, b),
+                "NNN pair is directly coupled");
+    PairProperties props;
+    props.zzRateMHz = zz_rate_mhz;
+    props.nextNearest = true;
+    props.starkShiftMHz = 0.0;
+    _pairs[QubitPair(a, b)] = props;
+}
+
+double
+Backend::zzRate(std::uint32_t a, std::uint32_t b) const
+{
+    auto it = _pairs.find(QubitPair(a, b));
+    return it == _pairs.end() ? 0.0 : it->second.zzRateMHz;
+}
+
+CrosstalkGraph
+Backend::crosstalkGraph(double min_zz_mhz) const
+{
+    CrosstalkGraph graph(numQubits());
+    for (const auto &[pair, props] : _pairs) {
+        if (props.zzRateMHz >= min_zz_mhz) {
+            graph.addEdge(CrosstalkEdge{pair, props.zzRateMHz,
+                                        props.nextNearest});
+        }
+    }
+    return graph;
+}
+
+Backend
+Backend::subsystem(const std::vector<std::uint32_t> &qubits) const
+{
+    std::map<std::uint32_t, std::uint32_t> relabel;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        casq_assert(qubits[i] < numQubits(),
+                    "subsystem qubit out of range");
+        casq_assert(!relabel.count(qubits[i]),
+                    "duplicate subsystem qubit");
+        relabel[qubits[i]] = std::uint32_t(i);
+    }
+
+    CouplingMap coupling(qubits.size());
+    for (const auto &edge : _coupling.edges()) {
+        auto a = relabel.find(edge.a);
+        auto b = relabel.find(edge.b);
+        if (a != relabel.end() && b != relabel.end())
+            coupling.addEdge(a->second, b->second);
+    }
+
+    Backend sub(_name + "-sub", std::move(coupling));
+    sub._durations = _durations;
+    // Per-pair gate durations are keyed by physical labels; remap
+    // them onto the subsystem indices.
+    sub._durations.twoQubitOverride.clear();
+    for (const auto &edge : _coupling.edges()) {
+        auto a = relabel.find(edge.a);
+        auto b = relabel.find(edge.b);
+        if (a == relabel.end() || b == relabel.end())
+            continue;
+        Instruction probe(Op::CX, {edge.a, edge.b});
+        sub._durations.setPairDuration(a->second, b->second,
+                                       _durations.of(probe));
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        sub._qubits[i] = _qubits[qubits[i]];
+    for (const auto &[pair, props] : _pairs) {
+        auto a = relabel.find(pair.a);
+        auto b = relabel.find(pair.b);
+        if (a == relabel.end() || b == relabel.end())
+            continue;
+        sub._pairs[QubitPair(a->second, b->second)] = props;
+    }
+    sub._physicalLabels.assign(qubits.begin(), qubits.end());
+    return sub;
+}
+
+namespace {
+
+/**
+ * Populate paper-typical calibration values with deterministic
+ * per-element variation: ZZ rates of tens of kHz, ~20 kHz Stark
+ * shifts on spectators, T1/T2 of a few hundred microseconds.
+ */
+void
+populateTypicalNoise(Backend &backend, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::uint32_t q = 0; q < backend.numQubits(); ++q) {
+        QubitProperties &props = backend.qubit(q);
+        props.t1Ns = rng.uniform(200e3, 350e3);
+        props.t2Ns = rng.uniform(120e3, 220e3);
+        props.readoutError = rng.uniform(0.008, 0.02);
+        props.chargeParityMHz = 0.0;
+        props.quasiStaticSigmaMHz = rng.uniform(0.004, 0.008);
+        props.gateError1q = rng.uniform(1.5e-4, 3.5e-4);
+    }
+    for (const auto &edge : backend.coupling().edges()) {
+        PairProperties &props = backend.pair(edge.a, edge.b);
+        props.zzRateMHz = rng.uniform(0.035, 0.10);
+        props.starkShiftMHz = rng.uniform(0.012, 0.028);
+        props.measureStarkMHz = rng.uniform(0.04, 0.08);
+        props.gateError2q = rng.uniform(5e-3, 9e-3);
+        // Couplers calibrate to different gate lengths; parallel
+        // gates therefore misalign their echoes, one of the key
+        // contexts the compiler handles.
+        backend.durations().setPairDuration(
+            edge.a, edge.b, rng.uniform(420.0, 620.0));
+    }
+}
+
+} // namespace
+
+Backend
+makeFakeNazca(std::uint64_t seed)
+{
+    Backend backend("fake_nazca", makeHeavyHex127());
+    populateTypicalNoise(backend, seed);
+    return backend;
+}
+
+Backend
+makeFakeSherbrooke(std::uint64_t seed)
+{
+    Backend backend("fake_sherbrooke", makeHeavyHex127());
+    populateTypicalNoise(backend, seed);
+    // Type-VI frequency collision: enhanced next-nearest-neighbour
+    // ZZ of order 10 kHz across the qubit triplet (0, 1, 2)
+    // (paper Fig. 4c and Sec. III C).
+    backend.addNnnPair(0, 2, 0.010);
+    return backend;
+}
+
+Backend
+makeFakeLinear(std::size_t n, std::uint64_t seed)
+{
+    Backend backend("fake_linear" + std::to_string(n),
+                    makeLinear(n));
+    populateTypicalNoise(backend, seed);
+    return backend;
+}
+
+Backend
+makeFakeRing(std::size_t n, std::uint64_t seed)
+{
+    Backend backend("fake_ring" + std::to_string(n), makeRing(n));
+    populateTypicalNoise(backend, seed);
+    return backend;
+}
+
+} // namespace casq

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Synthetic device models ("fake backends").
+ *
+ * A Backend bundles the coupling map, per-qubit and per-pair
+ * calibration data, and gate durations.  Both the compiler passes
+ * and the noise model read from the same tables, mirroring the
+ * paper's setup where compensation angles "can be inferred from the
+ * reported backend information of IBM Quantum systems without the
+ * need for additional calibration" (Sec. II D).
+ */
+
+#ifndef CASQ_DEVICE_BACKEND_HH
+#define CASQ_DEVICE_BACKEND_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/schedule.hh"
+#include "device/crosstalk.hh"
+#include "device/topology.hh"
+
+namespace casq {
+
+/** Per-qubit calibration data. */
+struct QubitProperties
+{
+    double t1Ns = 250e3;             //!< relaxation time
+    double t2Ns = 150e3;             //!< white-dephasing time
+    double readoutError = 0.01;      //!< assignment error
+    double chargeParityMHz = 0.0;    //!< +-delta from quasiparticles
+    double quasiStaticSigmaMHz = 0.0; //!< slow (1/f-like) detuning
+    double gateError1q = 2e-4;       //!< depolarizing per sx/x
+};
+
+/** Per-pair calibration data for coupled (or NNN-collided) pairs. */
+struct PairProperties
+{
+    double zzRateMHz = 0.06;     //!< always-on ZZ coupling nu
+    double starkShiftMHz = 0.0;  //!< spectator Z while pair-partner
+                                 //!< is driven
+    double measureStarkMHz = 0.0; //!< spectator Z while the pair
+                                  //!< partner is being read out
+    double gateError2q = 7e-3;   //!< depolarizing per 2q gate
+    bool nextNearest = false;    //!< collision-induced NNN edge
+};
+
+/** A synthetic quantum device. */
+class Backend
+{
+  public:
+    Backend(std::string name, CouplingMap coupling);
+
+    const std::string &name() const { return _name; }
+    std::size_t numQubits() const { return _coupling.numQubits(); }
+
+    const CouplingMap &coupling() const { return _coupling; }
+
+    GateDurations &durations() { return _durations; }
+    const GateDurations &durations() const { return _durations; }
+
+    QubitProperties &qubit(std::uint32_t q);
+    const QubitProperties &qubit(std::uint32_t q) const;
+
+    /**
+     * Properties of a coupled (or registered NNN) pair.  The
+     * non-const overload requires the pair to exist.
+     */
+    PairProperties &pair(std::uint32_t a, std::uint32_t b);
+    const PairProperties &pair(std::uint32_t a,
+                               std::uint32_t b) const;
+
+    bool hasPair(std::uint32_t a, std::uint32_t b) const;
+
+    /** Register a next-nearest-neighbour collision edge. */
+    void addNnnPair(std::uint32_t a, std::uint32_t b,
+                    double zz_rate_mhz);
+
+    const std::map<QubitPair, PairProperties> &pairs() const
+    {
+        return _pairs;
+    }
+
+    /** ZZ rate of a pair, or 0 when there is no crosstalk edge. */
+    double zzRate(std::uint32_t a, std::uint32_t b) const;
+
+    /**
+     * Crosstalk graph of all pairs with ZZ rate >= min_zz_mhz,
+     * including NNN collision edges (input of Algorithm 1).
+     */
+    CrosstalkGraph crosstalkGraph(double min_zz_mhz = 0.0) const;
+
+    /**
+     * Extract a sub-device on the given qubits, relabelled to
+     * 0..k-1 in the given order; keeps couplings, pair data and
+     * durations.  physicalLabels() maps back to this device.
+     */
+    Backend subsystem(const std::vector<std::uint32_t> &qubits) const;
+
+    /** Original labels after subsystem(); identity otherwise. */
+    const std::vector<std::uint32_t> &physicalLabels() const
+    {
+        return _physicalLabels;
+    }
+
+  private:
+    std::string _name;
+    CouplingMap _coupling;
+    GateDurations _durations;
+    std::vector<QubitProperties> _qubits;
+    std::map<QubitPair, PairProperties> _pairs;
+    std::vector<std::uint32_t> _physicalLabels;
+};
+
+/**
+ * 127-qubit heavy-hex device with paper-typical noise magnitudes
+ * (always-on ZZ of tens of kHz, ~20 kHz Stark shifts), deterministic
+ * per-pair variation derived from the seed.
+ */
+Backend makeFakeNazca(std::uint64_t seed = 0xCA5);
+
+/**
+ * Heavy-hex device with a type-VI frequency-collision triplet
+ * creating an enhanced NNN ZZ edge (paper Fig. 4c) among qubits
+ * {0, 1, 2}.
+ */
+Backend makeFakeSherbrooke(std::uint64_t seed = 0x5AE);
+
+/** Small open chain, used for Ramsey characterizations. */
+Backend makeFakeLinear(std::size_t n, std::uint64_t seed = 0x11);
+
+/** Ring device for the Heisenberg experiments (paper Fig. 7). */
+Backend makeFakeRing(std::size_t n, std::uint64_t seed = 0x12);
+
+} // namespace casq
+
+#endif // CASQ_DEVICE_BACKEND_HH

@@ -1,0 +1,42 @@
+#include "device/crosstalk.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+CrosstalkGraph::CrosstalkGraph(std::size_t num_qubits)
+    : _numQubits(num_qubits), _adjacency(num_qubits)
+{
+}
+
+void
+CrosstalkGraph::addEdge(const CrosstalkEdge &edge)
+{
+    casq_assert(edge.pair.a < _numQubits && edge.pair.b < _numQubits,
+                "crosstalk edge endpoint out of range");
+    if (connected(edge.pair.a, edge.pair.b))
+        return;
+    _edges.push_back(edge);
+    _adjacency[edge.pair.a].push_back(edge.pair.b);
+    _adjacency[edge.pair.b].push_back(edge.pair.a);
+}
+
+bool
+CrosstalkGraph::connected(std::uint32_t a, std::uint32_t b) const
+{
+    const auto &adj = _adjacency[a];
+    return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+double
+CrosstalkGraph::zzRate(std::uint32_t a, std::uint32_t b) const
+{
+    for (const auto &edge : _edges)
+        if (edge.pair.contains(a) && edge.pair.contains(b))
+            return edge.zzRateMHz;
+    return 0.0;
+}
+
+} // namespace casq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The crosstalk graph consumed by Algorithm 1: coupling edges plus
+ * any next-nearest-neighbour collision edges with a ZZ rate above
+ * threshold (paper Sec. IV A: "often, this means having an edge
+ * between neighboring qubits, but in collision conditions there may
+ * be additional edges connecting next-nearest neighbors").
+ */
+
+#ifndef CASQ_DEVICE_CROSSTALK_HH
+#define CASQ_DEVICE_CROSSTALK_HH
+
+#include <vector>
+
+#include "device/topology.hh"
+
+namespace casq {
+
+/** A crosstalk edge with its always-on ZZ rate. */
+struct CrosstalkEdge
+{
+    QubitPair pair;
+    double zzRateMHz = 0.0;
+    bool nextNearest = false;
+};
+
+/** Adjacency structure over crosstalk edges. */
+class CrosstalkGraph
+{
+  public:
+    explicit CrosstalkGraph(std::size_t num_qubits = 0);
+
+    std::size_t numQubits() const { return _numQubits; }
+
+    void addEdge(const CrosstalkEdge &edge);
+
+    const std::vector<CrosstalkEdge> &edges() const { return _edges; }
+
+    /** Crosstalk neighbours of q (both NN and NNN). */
+    const std::vector<std::uint32_t> &
+    neighbors(std::uint32_t q) const
+    {
+        return _adjacency[q];
+    }
+
+    bool connected(std::uint32_t a, std::uint32_t b) const;
+
+    /** ZZ rate of the (a, b) edge, or 0 when not connected. */
+    double zzRate(std::uint32_t a, std::uint32_t b) const;
+
+  private:
+    std::size_t _numQubits;
+    std::vector<CrosstalkEdge> _edges;
+    std::vector<std::vector<std::uint32_t>> _adjacency;
+};
+
+} // namespace casq
+
+#endif // CASQ_DEVICE_CROSSTALK_HH

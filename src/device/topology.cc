@@ -1,0 +1,166 @@
+#include "device/topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+QubitPair::QubitPair(std::uint32_t x, std::uint32_t y)
+    : a(std::min(x, y)), b(std::max(x, y))
+{
+    casq_assert(x != y, "QubitPair of identical qubits");
+}
+
+bool
+QubitPair::operator<(const QubitPair &rhs) const
+{
+    return a != rhs.a ? a < rhs.a : b < rhs.b;
+}
+
+std::uint32_t
+QubitPair::other(std::uint32_t q) const
+{
+    casq_assert(contains(q), "QubitPair::other on non-member");
+    return q == a ? b : a;
+}
+
+CouplingMap::CouplingMap(std::size_t num_qubits)
+    : _numQubits(num_qubits), _adjacency(num_qubits)
+{
+}
+
+void
+CouplingMap::addEdge(std::uint32_t a, std::uint32_t b)
+{
+    casq_assert(a < _numQubits && b < _numQubits,
+                "edge endpoint out of range");
+    if (hasEdge(a, b))
+        return;
+    _edges.emplace_back(a, b);
+    _adjacency[a].push_back(b);
+    _adjacency[b].push_back(a);
+}
+
+bool
+CouplingMap::hasEdge(std::uint32_t a, std::uint32_t b) const
+{
+    const auto &adj = _adjacency[a];
+    return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+std::size_t
+CouplingMap::maxDegree() const
+{
+    std::size_t d = 0;
+    for (const auto &adj : _adjacency)
+        d = std::max(d, adj.size());
+    return d;
+}
+
+bool
+CouplingMap::atDistanceTwo(std::uint32_t a, std::uint32_t b) const
+{
+    if (a == b || hasEdge(a, b))
+        return false;
+    for (auto mid : _adjacency[a])
+        if (hasEdge(mid, b))
+            return true;
+    return false;
+}
+
+CouplingMap
+makeLinear(std::size_t n)
+{
+    CouplingMap map(n);
+    for (std::uint32_t q = 0; q + 1 < n; ++q)
+        map.addEdge(q, q + 1);
+    return map;
+}
+
+CouplingMap
+makeRing(std::size_t n)
+{
+    casq_assert(n >= 3, "ring needs at least 3 qubits");
+    CouplingMap map(n);
+    for (std::uint32_t q = 0; q < n; ++q)
+        map.addEdge(q, std::uint32_t((q + 1) % n));
+    return map;
+}
+
+CouplingMap
+makeGrid(std::size_t rows, std::size_t cols)
+{
+    CouplingMap map(rows * cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            const std::uint32_t q = r * cols + c;
+            if (c + 1 < cols)
+                map.addEdge(q, q + 1);
+            if (r + 1 < rows)
+                map.addEdge(q, q + std::uint32_t(cols));
+        }
+    }
+    return map;
+}
+
+CouplingMap
+makeHeavyHex127()
+{
+    // 7 rows; rows 0 and 6 have 14 qubits (row 0 covers columns
+    // 0..13, row 6 covers columns 1..14), rows 1-5 have 15 qubits
+    // (columns 0..14).  Between row r and r+1 there are 4 bridge
+    // qubits at columns {0,4,8,12} for even r and {2,6,10,14} for
+    // odd r.  Sequential index assignment reproduces IBM Eagle
+    // numbering.
+    CouplingMap map(127);
+
+    struct RowInfo
+    {
+        std::uint32_t start;
+        int col_lo;
+        int col_hi;
+    };
+    std::vector<RowInfo> rows;
+    std::vector<std::uint32_t> bridge_start(6);
+
+    std::uint32_t next = 0;
+    for (int r = 0; r < 7; ++r) {
+        const int lo = (r == 6) ? 1 : 0;
+        const int hi = (r == 0) ? 13 : 14;
+        rows.push_back(RowInfo{next, lo, hi});
+        next += std::uint32_t(hi - lo + 1);
+        if (r < 6) {
+            bridge_start[r] = next;
+            next += 4;
+        }
+    }
+    casq_assert(next == 127, "heavy-hex index construction error");
+
+    auto row_qubit = [&](int r, int col) {
+        const RowInfo &info = rows[r];
+        casq_assert(col >= info.col_lo && col <= info.col_hi,
+                    "row column out of range");
+        return info.start + std::uint32_t(col - info.col_lo);
+    };
+
+    // Horizontal edges along each row.
+    for (int r = 0; r < 7; ++r)
+        for (int c = rows[r].col_lo; c < rows[r].col_hi; ++c)
+            map.addEdge(row_qubit(r, c), row_qubit(r, c + 1));
+
+    // Bridge qubits between rows.
+    for (int r = 0; r < 6; ++r) {
+        const int offset = (r % 2 == 0) ? 0 : 2;
+        for (int k = 0; k < 4; ++k) {
+            const int col = offset + 4 * k;
+            const std::uint32_t bridge = bridge_start[r] +
+                                         std::uint32_t(k);
+            map.addEdge(bridge, row_qubit(r, col));
+            map.addEdge(bridge, row_qubit(r + 1, col));
+        }
+    }
+    return map;
+}
+
+} // namespace casq

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Qubit connectivity graphs.
+ *
+ * The heavy-hex generator reproduces the row/bridge indexing of IBM
+ * Eagle 127-qubit processors (ibm_nazca and friends), so that the
+ * qubit labels appearing in the paper's figures (e.g. the Fig. 8
+ * layer on qubits 37-40 / 52 / 56-60) land on the same coordinates.
+ */
+
+#ifndef CASQ_DEVICE_TOPOLOGY_HH
+#define CASQ_DEVICE_TOPOLOGY_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace casq {
+
+/** Unordered pair of qubits; stored with first < second. */
+struct QubitPair
+{
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+
+    QubitPair() = default;
+    QubitPair(std::uint32_t x, std::uint32_t y);
+
+    bool operator==(const QubitPair &rhs) const = default;
+    bool operator<(const QubitPair &rhs) const;
+
+    bool contains(std::uint32_t q) const { return q == a || q == b; }
+
+    /** The endpoint that is not q (q must be an endpoint). */
+    std::uint32_t other(std::uint32_t q) const;
+};
+
+/** Undirected qubit coupling graph. */
+class CouplingMap
+{
+  public:
+    explicit CouplingMap(std::size_t num_qubits = 0);
+
+    std::size_t numQubits() const { return _numQubits; }
+
+    /** Add an undirected edge (idempotent). */
+    void addEdge(std::uint32_t a, std::uint32_t b);
+
+    bool hasEdge(std::uint32_t a, std::uint32_t b) const;
+
+    const std::vector<QubitPair> &edges() const { return _edges; }
+
+    const std::vector<std::uint32_t> &
+    neighbors(std::uint32_t q) const
+    {
+        return _adjacency[q];
+    }
+
+    /** Maximum vertex degree. */
+    std::size_t maxDegree() const;
+
+    /** True if a and b are at graph distance exactly 2. */
+    bool atDistanceTwo(std::uint32_t a, std::uint32_t b) const;
+
+  private:
+    std::size_t _numQubits;
+    std::vector<QubitPair> _edges;
+    std::vector<std::vector<std::uint32_t>> _adjacency;
+};
+
+/** Open chain of n qubits. */
+CouplingMap makeLinear(std::size_t n);
+
+/** Ring of n qubits. */
+CouplingMap makeRing(std::size_t n);
+
+/** rows x cols grid. */
+CouplingMap makeGrid(std::size_t rows, std::size_t cols);
+
+/**
+ * IBM Eagle-style 127-qubit heavy-hex lattice: 7 rows of 14/15
+ * qubits with bridge qubits every 4 columns alternating offsets,
+ * matching the production indexing (e.g. bridge 52 connects 37 and
+ * 56).
+ */
+CouplingMap makeHeavyHex127();
+
+} // namespace casq
+
+#endif // CASQ_DEVICE_TOPOLOGY_HH

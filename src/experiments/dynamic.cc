@@ -1,0 +1,58 @@
+#include "experiments/dynamic.hh"
+
+#include "common/logging.hh"
+
+namespace casq {
+
+LayeredCircuit
+buildDynamicBell()
+{
+    LayeredCircuit circuit(3, 1);
+
+    Layer prep{LayerKind::OneQubit, {}};
+    prep.insts.emplace_back(Op::H, std::vector<std::uint32_t>{0});
+    prep.insts.emplace_back(Op::H, std::vector<std::uint32_t>{2});
+    circuit.addLayer(std::move(prep));
+
+    Layer cx0{LayerKind::TwoQubit, {}};
+    cx0.insts.emplace_back(Op::CX, std::vector<std::uint32_t>{0, 1});
+    circuit.addLayer(std::move(cx0));
+
+    Layer cx2{LayerKind::TwoQubit, {}};
+    cx2.insts.emplace_back(Op::CX, std::vector<std::uint32_t>{2, 1});
+    circuit.addLayer(std::move(cx2));
+
+    // Parity readout and feedforward correction: |q0 q2> collapses
+    // onto the even- or odd-parity Bell pair; X on q2 fixes odd.
+    Layer dynamic{LayerKind::Dynamic, {}};
+    Instruction meas(Op::Measure, {1});
+    meas.cbit = 0;
+    dynamic.insts.push_back(std::move(meas));
+    Instruction corr(Op::X, {2});
+    corr.condBit = 0;
+    corr.condValue = 1;
+    dynamic.insts.push_back(std::move(corr));
+    circuit.addLayer(std::move(dynamic));
+
+    return circuit;
+}
+
+std::vector<PauliString>
+bellFidelityObservables()
+{
+    return {PauliString::two(3, 0, PauliOp::X, 2, PauliOp::X),
+            PauliString::two(3, 0, PauliOp::Y, 2, PauliOp::Y),
+            PauliString::two(3, 0, PauliOp::Z, 2, PauliOp::Z)};
+}
+
+double
+bellFidelity(const std::vector<double> &expectations)
+{
+    casq_assert(expectations.size() == 3,
+                "bellFidelity needs <XX>, <YY>, <ZZ>");
+    return (1.0 + expectations[0] - expectations[1] +
+            expectations[2]) /
+           4.0;
+}
+
+} // namespace casq

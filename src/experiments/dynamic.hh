@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dynamic-circuit Bell preparation (paper Fig. 9): data qubits in
+ * |+>, parity collected on the middle auxiliary qubit, mid-circuit
+ * measurement, and a conditional X correction on one data qubit.
+ * Qubits idling through the measurement + feedforward window pick
+ * up large coherent ZZ errors that only CA-EC can address.
+ */
+
+#ifndef CASQ_EXPERIMENTS_DYNAMIC_HH
+#define CASQ_EXPERIMENTS_DYNAMIC_HH
+
+#include "pauli/pauli.hh"
+#include "circuit/stratify.hh"
+
+namespace casq {
+
+/**
+ * Build the 3-qubit chain Bell protocol: qubit 0 and 2 are data,
+ * qubit 1 is the measured auxiliary (classical bit 0).
+ */
+LayeredCircuit buildDynamicBell();
+
+/**
+ * Observables whose combination gives the Bell fidelity
+ * F = (1 + <XX> - <YY> + <ZZ>) / 4 on the data qubits (0, 2) of a
+ * 3-qubit register.
+ */
+std::vector<PauliString> bellFidelityObservables();
+
+/** Combine the three expectations into the Bell fidelity. */
+double bellFidelity(const std::vector<double> &expectations);
+
+} // namespace casq
+
+#endif // CASQ_EXPERIMENTS_DYNAMIC_HH

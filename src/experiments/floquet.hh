@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Floquet-circuit builders: the Ising-type evolution of paper
+ * Fig. 6 and the identity-equivalent Floquet benchmark of Fig. 10.
+ */
+
+#ifndef CASQ_EXPERIMENTS_FLOQUET_HH
+#define CASQ_EXPERIMENTS_FLOQUET_HH
+
+#include "circuit/stratify.hh"
+
+namespace casq {
+
+/**
+ * Floquet Ising chain at the Clifford point (Fig. 6a): boundary
+ * qubits prepared in |+>, then per step an even-odd ECR layer, an
+ * odd-even ECR layer and a layer of X gates.  The figure's
+ * observable is <X_0 X_{n-1}>.
+ */
+LayeredCircuit buildFloquetIsing(std::size_t num_qubits, int steps);
+
+/**
+ * The 6-qubit identity-equivalent Floquet benchmark of Fig. 10a:
+ * per step the parallel gate set {ECR(1->0), ECR(2->3), ECR(5->4)}
+ * is applied twice (ECR is an involution), exposing the adjacent
+ * control-control ZZ (case IV) while the ideal value of P00 on the
+ * probe qubits stays 1.
+ */
+LayeredCircuit buildFloquetIdentity(int steps);
+
+/** Probe qubits whose P00 Fig. 10b reports. */
+std::vector<std::uint32_t> floquetIdentityProbes();
+
+} // namespace casq
+
+#endif // CASQ_EXPERIMENTS_FLOQUET_HH

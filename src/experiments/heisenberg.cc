@@ -1,0 +1,83 @@
+#include "experiments/heisenberg.hh"
+
+#include "circuit/unitary.hh"
+#include "common/logging.hh"
+
+namespace casq {
+
+LayeredCircuit
+buildHeisenbergRing(std::size_t num_qubits, int steps,
+                    const HeisenbergParams &params)
+{
+    casq_assert(num_qubits >= 6 && num_qubits % 3 == 0,
+                "ring size must be a positive multiple of 3 for the "
+                "three-layer edge partition");
+    LayeredCircuit circuit(num_qubits, 0);
+
+    // Neel-type initial state: |0101...> evolves non-trivially.
+    Layer prep{LayerKind::OneQubit, {}};
+    for (std::uint32_t q = 1; q < num_qubits; q += 2)
+        prep.insts.emplace_back(Op::X, std::vector<std::uint32_t>{q});
+    circuit.addLayer(std::move(prep));
+
+    for (int s = 0; s < steps; ++s) {
+        for (int color = 0; color < 3; ++color) {
+            Layer layer{LayerKind::TwoQubit, {}};
+            for (std::size_t e = std::size_t(color); e < num_qubits;
+                 e += 3) {
+                const std::uint32_t a = std::uint32_t(e);
+                const std::uint32_t b =
+                    std::uint32_t((e + 1) % num_qubits);
+                layer.insts.emplace_back(
+                    Op::Can, std::vector<std::uint32_t>{a, b},
+                    std::vector<double>{params.alphaX(),
+                                        params.alphaY(),
+                                        params.alphaZ()});
+            }
+            circuit.addLayer(std::move(layer));
+        }
+    }
+    return circuit;
+}
+
+LayeredCircuit
+buildHeisenbergRingNative(std::size_t num_qubits, int steps,
+                          const HeisenbergParams &params)
+{
+    casq_assert(num_qubits >= 6 && num_qubits % 3 == 0,
+                "ring size must be a positive multiple of 3 for the "
+                "three-layer edge partition");
+
+    // The 3-CX fragment is identical for all blocks of a layer;
+    // interleaving the k-th instruction of every block keeps the
+    // parallel blocks aligned in time.
+    const Circuit frag = synthesizeCan(
+        params.alphaX(), params.alphaY(), params.alphaZ());
+
+    Circuit flat(num_qubits, 0);
+    for (std::uint32_t q = 1; q < num_qubits; q += 2)
+        flat.x(q);
+    flat.barrier();
+
+    for (int s = 0; s < steps; ++s) {
+        for (int color = 0; color < 3; ++color) {
+            for (const Instruction &inst : frag.instructions()) {
+                for (std::size_t e = std::size_t(color);
+                     e < num_qubits; e += 3) {
+                    Instruction remapped = inst;
+                    for (auto &q : remapped.qubits) {
+                        q = (q == 0)
+                                ? std::uint32_t(e)
+                                : std::uint32_t((e + 1) %
+                                                num_qubits);
+                    }
+                    flat.append(std::move(remapped));
+                }
+            }
+            flat.barrier();
+        }
+    }
+    return stratify(flat);
+}
+
+} // namespace casq

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-order Trotterized Heisenberg-ring evolution (paper Fig. 7):
+ * a ring of spins with exp(-iHt) decomposed into canonical
+ * two-qubit blocks can(-J dt/2, ...) over three vertex-disjoint
+ * edge layers per time step, matching the heavy-hex embedding the
+ * paper uses.
+ */
+
+#ifndef CASQ_EXPERIMENTS_HEISENBERG_HH
+#define CASQ_EXPERIMENTS_HEISENBERG_HH
+
+#include "circuit/stratify.hh"
+
+namespace casq {
+
+/** Heisenberg model parameters (paper Eq. 7). */
+struct HeisenbergParams
+{
+    double jx = 1.0;
+    double jy = 1.0;
+    double jz = 1.0;
+    double dt = 1.4; //!< Trotter step (sets the can angles)
+
+    /** Canonical-gate angle per axis: -J * dt / 2. */
+    double alphaX() const { return -jx * dt / 2.0; }
+    double alphaY() const { return -jy * dt / 2.0; }
+    double alphaZ() const { return -jz * dt / 2.0; }
+};
+
+/**
+ * Build `steps` Trotter steps on an n-qubit ring (n even), with a
+ * Neel-type initial layer (X on odd qubits) so single-qubit
+ * observables such as <Z_2> evolve non-trivially.  Each step uses
+ * three vertex-disjoint can layers (edges i = 0, 1, 2 mod 3).
+ */
+LayeredCircuit buildHeisenbergRing(std::size_t num_qubits, int steps,
+                                   const HeisenbergParams &params =
+                                       {});
+
+/**
+ * The hardware form of the same circuit: every canonical block is
+ * expanded into its 3-CX realization (paper Fig. 1d), with the
+ * expansions of parallel blocks interleaved so the sub-gates of a
+ * layer run simultaneously.  At 12 qubits and 5 steps this is the
+ * paper's 180-CNOT, CNOT-depth-45 circuit.
+ */
+LayeredCircuit buildHeisenbergRingNative(
+    std::size_t num_qubits, int steps,
+    const HeisenbergParams &params = {});
+
+} // namespace casq
+
+#endif // CASQ_EXPERIMENTS_HEISENBERG_HH

@@ -1,0 +1,19 @@
+#include "experiments/mitigation.hh"
+
+namespace casq {
+
+OverheadEstimate
+estimateMitigationOverhead(const std::vector<double> &depths,
+                           const std::vector<double> &noisy,
+                           const std::vector<double> &ideal,
+                           double target_depth)
+{
+    const DecayFit fit = fitScaledDecay(depths, noisy, ideal);
+    OverheadEstimate out;
+    out.amplitude = fit.amplitude;
+    out.lambda = fit.lambda;
+    out.overhead = samplingOverhead(fit, target_depth);
+    return out;
+}
+
+} // namespace casq

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Error-mitigation overhead estimation (paper Sec. V B / Fig. 7d).
+ *
+ * The noisy signal is modelled as A * lambda^d times the ideal
+ * signal (a global depolarizing rescaling); rescaling the estimator
+ * back multiplies its variance by (A lambda^d)^-2, which is the
+ * sampling overhead the figure reports.
+ */
+
+#ifndef CASQ_EXPERIMENTS_MITIGATION_HH
+#define CASQ_EXPERIMENTS_MITIGATION_HH
+
+#include <vector>
+
+#include "common/statistics.hh"
+
+namespace casq {
+
+/** Overhead estimate for one suppression strategy. */
+struct OverheadEstimate
+{
+    double amplitude = 1.0; //!< fitted SPAM-like prefactor A
+    double lambda = 1.0;    //!< fitted per-step signal retention
+    double overhead = 1.0;  //!< (A lambda^d)^-2 at the target depth
+};
+
+/**
+ * Fit noisy_d ~ A lambda^d ideal_d and evaluate the sampling
+ * overhead at target_depth.
+ */
+OverheadEstimate estimateMitigationOverhead(
+    const std::vector<double> &depths,
+    const std::vector<double> &noisy,
+    const std::vector<double> &ideal, double target_depth);
+
+} // namespace casq
+
+#endif // CASQ_EXPERIMENTS_MITIGATION_HH

@@ -1,0 +1,314 @@
+#include "passes/ca_dd.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/logging.hh"
+#include "passes/dd_sequences.hh"
+#include "passes/walsh.hh"
+#include "sim/timeline.hh"
+
+namespace casq {
+
+namespace {
+
+bool
+overlaps(const IdleWindow &a, const IdleWindow &b)
+{
+    return a.start < b.end - 1e-9 && b.start < a.end - 1e-9;
+}
+
+bool
+overlapsSpan(const IdleWindow &w, double start, double end)
+{
+    return w.start < end - 1e-9 && start < w.end - 1e-9;
+}
+
+/** Union-find grouping of windows by overlap + adjacency. */
+std::vector<std::vector<IdleWindow>>
+groupWindows(const std::vector<IdleWindow> &windows,
+             const CrosstalkGraph &graph)
+{
+    std::vector<int> parent(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i)
+        parent[i] = int(i);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](int a, int b) {
+        parent[find(a)] = find(b);
+    };
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        for (std::size_t j = i + 1; j < windows.size(); ++j) {
+            if (overlaps(windows[i], windows[j]) &&
+                graph.connected(windows[i].qubit,
+                                windows[j].qubit)) {
+                unite(int(i), int(j));
+            }
+        }
+    }
+    std::map<int, std::vector<IdleWindow>> buckets;
+    for (std::size_t i = 0; i < windows.size(); ++i)
+        buckets[find(int(i))].push_back(windows[i]);
+    std::vector<std::vector<IdleWindow>> out;
+    for (auto &[root, group] : buckets)
+        out.push_back(std::move(group));
+    return out;
+}
+
+/** Recursive split of one group (Algorithm 1, lines 10-18). */
+void
+splitGroup(std::vector<IdleWindow> group, double min_duration,
+           const CrosstalkGraph &graph,
+           std::vector<JointDelayGroup> &out)
+{
+    if (group.empty())
+        return;
+    if (group.size() == 1) {
+        out.push_back(JointDelayGroup{group[0].start, group[0].end,
+                                      {group[0]}});
+        return;
+    }
+    // Widest joint window: the member overlapped by the most
+    // members (ties: the longest one).
+    std::size_t best = 0;
+    std::size_t best_count = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        std::size_t count = 0;
+        for (std::size_t j = 0; j < group.size(); ++j)
+            if (overlaps(group[i], group[j]))
+                ++count;
+        const bool better =
+            count > best_count ||
+            (count == best_count &&
+             group[i].duration() > group[best].duration());
+        if (better) {
+            best = i;
+            best_count = count;
+        }
+    }
+    const double span_start = group[best].start;
+    const double span_end = group[best].end;
+
+    JointDelayGroup joint{span_start, span_end, {}};
+    std::vector<IdleWindow> before, after;
+    for (const auto &w : group) {
+        if (overlapsSpan(w, span_start, span_end)) {
+            IdleWindow clipped = w;
+            clipped.start = std::max(w.start, span_start);
+            clipped.end = std::min(w.end, span_end);
+            if (clipped.duration() >= min_duration)
+                joint.members.push_back(clipped);
+            // Residual pieces outside the span.
+            if (w.start < span_start - min_duration) {
+                before.push_back(
+                    IdleWindow{w.qubit, w.start, span_start});
+            }
+            if (w.end > span_end + min_duration) {
+                after.push_back(
+                    IdleWindow{w.qubit, span_end, w.end});
+            }
+        } else if (w.end <= span_start + 1e-9) {
+            before.push_back(w);
+        } else {
+            after.push_back(w);
+        }
+    }
+    if (!joint.members.empty())
+        out.push_back(std::move(joint));
+    for (auto &sub : groupWindows(before, graph))
+        splitGroup(std::move(sub), min_duration, graph, out);
+    for (auto &sub : groupWindows(after, graph))
+        splitGroup(std::move(sub), min_duration, graph, out);
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Split idle windows at the start/end times of echoed two-qubit
+ * gates running on crosstalk-adjacent qubits, so that spectator
+ * sequences stay aligned with the echo/rotary pulses of each
+ * individual gate (the per-layer contexts of Sec. III B).  Pieces
+ * shorter than min_duration are dropped.
+ */
+std::vector<IdleWindow>
+splitAtContextBoundaries(const std::vector<IdleWindow> &windows,
+                         const ScheduledCircuit &schedule,
+                         const CrosstalkGraph &graph,
+                         double min_duration)
+{
+    std::vector<IdleWindow> out;
+    for (const auto &w : windows) {
+        std::vector<double> cuts{w.start, w.end};
+        for (const auto &timed : schedule.instructions()) {
+            if (!isEchoedTwoQubitOp(timed.inst.op) ||
+                timed.duration <= 0.0) {
+                continue;
+            }
+            bool adjacent = false;
+            for (auto gq : timed.inst.qubits)
+                adjacent |= graph.connected(gq, w.qubit);
+            if (!adjacent)
+                continue;
+            for (double t : {timed.start, timed.end()})
+                if (t > w.start + 1e-9 && t < w.end - 1e-9)
+                    cuts.push_back(t);
+        }
+        std::sort(cuts.begin(), cuts.end());
+        for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+            if (cuts[i + 1] - cuts[i] >= min_duration) {
+                out.push_back(
+                    IdleWindow{w.qubit, cuts[i], cuts[i + 1]});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<JointDelayGroup>
+collectJointDelays(const ScheduledCircuit &schedule,
+                   const CrosstalkGraph &graph, double min_duration)
+{
+    const std::vector<IdleWindow> windows = splitAtContextBoundaries(
+        schedule.idleWindows(min_duration), schedule, graph,
+        min_duration);
+    std::vector<JointDelayGroup> out;
+    for (auto &group : groupWindows(windows, graph))
+        splitGroup(std::move(group), min_duration, graph, out);
+    std::sort(out.begin(), out.end(),
+              [](const JointDelayGroup &a, const JointDelayGroup &b) {
+                  return a.start < b.start;
+              });
+    return out;
+}
+
+ColoredGroup
+colorGroup(const JointDelayGroup &group,
+           const ScheduledCircuit &schedule,
+           const CrosstalkGraph &graph, int max_color)
+{
+    ColoredGroup result;
+    result.group = group;
+
+    // Pin colours of qubits executing echoed two-qubit gates
+    // concurrently with this group on crosstalk-adjacent qubits.
+    std::set<std::uint32_t> member_qubits;
+    for (const auto &w : group.members)
+        member_qubits.insert(w.qubit);
+
+    for (const auto &timed : schedule.instructions()) {
+        if (!isEchoedTwoQubitOp(timed.inst.op) ||
+            timed.duration <= 0.0) {
+            continue;
+        }
+        if (timed.end() <= group.start + 1e-9 ||
+            timed.start >= group.end - 1e-9) {
+            continue;
+        }
+        // Only gates whose qubits neighbour a member matter.
+        for (std::size_t k = 0; k < timed.inst.qubits.size(); ++k) {
+            const std::uint32_t gq = timed.inst.qubits[k];
+            bool relevant = false;
+            for (auto m : member_qubits)
+                if (graph.connected(gq, m))
+                    relevant = true;
+            if (relevant) {
+                result.pinned[gq] =
+                    (k == 0) ? kControlColor : kTargetColor;
+            }
+        }
+    }
+
+    ColoringProblem problem;
+    problem.idleQubits.assign(member_qubits.begin(),
+                              member_qubits.end());
+    problem.pinned = result.pinned;
+    problem.maxColor = max_color;
+    result.colors = greedyColor(problem, graph);
+
+    int max_used = 1;
+    for (const auto &[q, c] : result.colors)
+        max_used = std::max(max_used, c);
+    for (const auto &[q, c] : result.pinned)
+        max_used = std::max(max_used, c);
+    result.slots = walshSlots(max_used);
+    return result;
+}
+
+ScheduledCircuit
+applyCaDd(const ScheduledCircuit &schedule, const Backend &backend,
+          const CaddOptions &options)
+{
+    const CrosstalkGraph graph =
+        backend.crosstalkGraph(options.minZzRateMhz);
+    const std::vector<JointDelayGroup> groups =
+        collectJointDelays(schedule, graph, options.minDuration);
+
+    ScheduledCircuit out = schedule;
+    for (const auto &group : groups) {
+        const ColoredGroup colored =
+            colorGroup(group, schedule, graph,
+                       options.maxWalshIndex);
+        for (const auto &member : colored.group.members) {
+            const int color = colored.colors.at(member.qubit);
+            const DdSequence seq =
+                walshSequence(color, colored.slots);
+            insertDdPulses(out, member.qubit, member.start,
+                           member.end, seq,
+                           backend.durations().oneQubit);
+        }
+    }
+    return out;
+}
+
+ScheduledCircuit
+applyUniformDd(const ScheduledCircuit &schedule,
+               const GateDurations &durations, UniformDdStyle style,
+               double min_duration)
+{
+    // Context-unaware padding in the style of standard transpiler
+    // DD passes: every scheduled delay (idle windows split at the
+    // global gate-boundary grid, i.e. per layer in barrier-aligned
+    // circuits) is padded with the same X2 sequence, with no
+    // knowledge of crosstalk or of neighbouring gate echoes.
+    std::vector<double> grid;
+    for (const auto &timed : schedule.instructions()) {
+        if (timed.inst.op == Op::Barrier || timed.duration <= 0.0)
+            continue;
+        grid.push_back(timed.start);
+        grid.push_back(timed.end());
+    }
+    std::sort(grid.begin(), grid.end());
+
+    ScheduledCircuit out = schedule;
+    for (const auto &window : schedule.idleWindows(min_duration)) {
+        std::vector<double> cuts{window.start, window.end};
+        for (double t : grid)
+            if (t > window.start + 1e-9 && t < window.end - 1e-9)
+                cuts.push_back(t);
+        std::sort(cuts.begin(), cuts.end());
+        for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+            if (cuts[i + 1] - cuts[i] < min_duration)
+                continue;
+            DdSequence seq = alignedX2();
+            if (style == UniformDdStyle::StaggeredByParity &&
+                window.qubit % 2 == 1) {
+                seq = offsetX2();
+            }
+            insertDdPulses(out, window.qubit, cuts[i], cuts[i + 1],
+                           seq, durations.oneQubit);
+        }
+    }
+    return out;
+}
+
+} // namespace casq

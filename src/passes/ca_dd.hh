@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Context-Aware Dynamical Decoupling (paper Algorithm 1).
+ *
+ * Pipeline: build the crosstalk graph from the device; collect
+ * jointly-idling delay groups from the scheduled circuit; split each
+ * group recursively at its widest joint window; colour the idle
+ * qubits against the crosstalk graph with the colours of active ECR
+ * controls/targets pinned; insert the Walsh sequence of each colour
+ * as real X pulses.
+ */
+
+#ifndef CASQ_PASSES_CA_DD_HH
+#define CASQ_PASSES_CA_DD_HH
+
+#include <map>
+#include <vector>
+
+#include "device/backend.hh"
+#include "passes/coloring.hh"
+
+namespace casq {
+
+/** Tunables of the CA-DD pass. */
+struct CaddOptions
+{
+    /** Minimum idle duration worth decoupling (Dmin). */
+    double minDuration = 150.0;
+
+    /** Ignore crosstalk edges weaker than this (MHz). */
+    double minZzRateMhz = 0.0;
+
+    /** Highest Walsh row available to the colouring. */
+    int maxWalshIndex = 15;
+};
+
+/** A set of overlapping, crosstalk-adjacent idle windows. */
+struct JointDelayGroup
+{
+    double start = 0.0;
+    double end = 0.0;
+    std::vector<IdleWindow> members; //!< clipped to [start, end]
+
+    double duration() const { return end - start; }
+};
+
+/**
+ * Algorithm 1, CollectJointDelays: gather idle windows of at least
+ * min_duration, group windows that overlap in time and are adjacent
+ * on the crosstalk graph, and split each group recursively at the
+ * member covering the most jointly-idle qubits.
+ */
+std::vector<JointDelayGroup> collectJointDelays(
+    const ScheduledCircuit &schedule, const CrosstalkGraph &graph,
+    double min_duration);
+
+/** Colouring result of one joint delay group. */
+struct ColoredGroup
+{
+    JointDelayGroup group;
+    std::map<std::uint32_t, int> colors; //!< per idle qubit
+    std::map<std::uint32_t, int> pinned; //!< active neighbours
+    std::size_t slots = 4;
+};
+
+/**
+ * Algorithm 1, ColorGraph: pin the colours of gate qubits running
+ * concurrently with the group on crosstalk-adjacent qubits, then
+ * greedily colour the idle members.
+ */
+ColoredGroup colorGroup(const JointDelayGroup &group,
+                        const ScheduledCircuit &schedule,
+                        const CrosstalkGraph &graph, int max_color);
+
+/**
+ * The full CA-DD pass: returns a copy of the schedule dressed with
+ * context-aware DD pulses.
+ */
+ScheduledCircuit applyCaDd(const ScheduledCircuit &schedule,
+                           const Backend &backend,
+                           const CaddOptions &options = {});
+
+/** Context-unaware baselines (paper's "DD" comparison curves). */
+enum class UniformDdStyle
+{
+    Aligned,           //!< X2 at 1/4, 3/4 on every idle window
+    StaggeredByParity, //!< X2 offset on odd-numbered qubits
+};
+
+/** Apply the same X2 sequence to every idle window, no context. */
+ScheduledCircuit applyUniformDd(const ScheduledCircuit &schedule,
+                                const GateDurations &durations,
+                                UniformDdStyle style,
+                                double min_duration = 150.0);
+
+} // namespace casq
+
+#endif // CASQ_PASSES_CA_DD_HH

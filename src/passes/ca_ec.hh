@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Context-Aware Error Compensation (paper Algorithm 2).
+ *
+ * The pass walks the layered circuit, accumulating the known
+ * coherent Z / ZZ error angles per qubit and coupled pair (rates
+ * from the backend tables integrated against the toggling-frame sign
+ * functions of each layer context), carries the accumulated angles
+ * forward through layers (flipping signs through Pauli twirl gates,
+ * transforming through Clifford two-qubit gates), and discharges
+ * them:
+ *  - Z compensations as free virtual rz gates,
+ *  - ZZ compensations absorbed into canonical / rzz gates at zero
+ *    cost, or inserted as native pulse-stretched rzz rotations,
+ *  - pairs with a measured qubit as outcome-conditioned rz gates
+ *    (the dynamic-circuit rule of paper Fig. 9b).
+ */
+
+#ifndef CASQ_PASSES_CA_EC_HH
+#define CASQ_PASSES_CA_EC_HH
+
+#include "circuit/stratify.hh"
+#include "device/backend.hh"
+
+namespace casq {
+
+/** Tunables of the CA-EC pass. */
+struct CaecOptions
+{
+    /** Compensate single-qubit Z errors (virtual, zero cost). */
+    bool compensateZ = true;
+
+    /** Compensate two-qubit ZZ errors. */
+    bool compensateZz = true;
+
+    /** Handle pairs where both qubits idle (case I). */
+    bool idlePairs = true;
+
+    /** Handle gate-spectator pairs (cases II/III). */
+    bool mixedPairs = true;
+
+    /** Handle pairs of two gate-active qubits (case IV). */
+    bool activePairs = true;
+
+    /** Include AC Stark compensation on spectators. */
+    bool starkCompensation = true;
+
+    /** Allow inserting explicit rzz gates when nothing absorbs. */
+    bool insertRzz = true;
+
+    /**
+     * Drop compensations smaller than this (radians).  Inserting a
+     * pulse for a milliradian residual costs more (pulse error plus
+     * idle time for everyone else) than it recovers; virtual rz
+     * compensations are filtered by the same threshold for
+     * consistency.
+     */
+    double minAngle = 0.02;
+
+    /**
+     * Assumed measurement + feedforward idle time for dynamic
+     * layers (ns); < 0 means use the backend durations.  Paper
+     * Fig. 9c sweeps this value to calibrate the feedforward time.
+     */
+    double assumedDynamicIdleNs = -1.0;
+};
+
+/** Bookkeeping of what the pass did (for tests and benches). */
+struct CaecStats
+{
+    int absorbedIntoGates = 0;  //!< can/rzz parameter updates
+    int insertedRz = 0;         //!< virtual Z compensations
+    int insertedRzz = 0;        //!< explicit two-qubit corrections
+    int conditionalRz = 0;      //!< measurement-conditioned rules
+    int flushedEarly = 0;       //!< non-commuting layer flushes
+};
+
+/**
+ * Apply Algorithm 2 and return the compensated circuit.  The input
+ * should already contain any twirl layers (the pass commutes
+ * compensation through them with the correct signs).
+ */
+LayeredCircuit applyCaEc(const LayeredCircuit &circuit,
+                         const Backend &backend,
+                         const CaecOptions &options = {},
+                         CaecStats *stats = nullptr);
+
+/**
+ * Options preset for the combined CA-EC + CA-DD strategy: only
+ * compensate what DD cannot address (gate-active pairs, paper
+ * Sec. V E), leaving idle periods to the decoupling pass.
+ */
+CaecOptions caecActiveOnlyOptions();
+
+} // namespace casq
+
+#endif // CASQ_PASSES_CA_EC_HH

@@ -1,0 +1,78 @@
+#include "passes/coloring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "passes/walsh.hh"
+
+namespace casq {
+
+std::vector<int>
+colorPreferenceOrder(int max_color)
+{
+    std::vector<int> order;
+    for (int k = 1; k <= max_color; ++k)
+        order.push_back(k);
+    std::stable_sort(order.begin(), order.end(), [](int a, int b) {
+        const std::size_t pa = walshPulseCount(a);
+        const std::size_t pb = walshPulseCount(b);
+        if (pa != pb)
+            return pa < pb;
+        return a < b;
+    });
+    return order;
+}
+
+std::map<std::uint32_t, int>
+greedyColor(const ColoringProblem &problem,
+            const CrosstalkGraph &graph)
+{
+    std::map<std::uint32_t, int> colors;
+    const std::vector<int> preference =
+        colorPreferenceOrder(problem.maxColor);
+
+    // Constrained-first ordering: idle qubits adjacent to pinned
+    // actives come first (more pinned neighbours = earlier), ties
+    // broken by index for determinism.
+    std::vector<std::uint32_t> order = problem.idleQubits;
+    auto pinned_degree = [&](std::uint32_t q) {
+        int d = 0;
+        for (auto n : graph.neighbors(q))
+            if (problem.pinned.count(n))
+                ++d;
+        return d;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         const int da = pinned_degree(a);
+                         const int db = pinned_degree(b);
+                         if (da != db)
+                             return da > db;
+                         return a < b;
+                     });
+
+    for (auto q : order) {
+        std::set<int> taken;
+        for (auto n : graph.neighbors(q)) {
+            auto pin = problem.pinned.find(n);
+            if (pin != problem.pinned.end())
+                taken.insert(pin->second);
+            auto col = colors.find(n);
+            if (col != colors.end())
+                taken.insert(col->second);
+        }
+        int chosen = -1;
+        for (int k : preference) {
+            if (!taken.count(k)) {
+                chosen = k;
+                break;
+            }
+        }
+        casq_assert(chosen > 0, "ran out of Walsh colours at qubit q",
+                    q, " (maxColor = ", problem.maxColor, ")");
+        colors[q] = chosen;
+    }
+    return colors;
+}
+
+} // namespace casq

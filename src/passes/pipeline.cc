@@ -1,0 +1,114 @@
+#include "passes/pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace casq {
+
+std::string
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::None:
+        return "none";
+      case Strategy::Ec:
+        return "ca-ec";
+      case Strategy::DdAligned:
+        return "dd-aligned";
+      case Strategy::DdStaggered:
+        return "dd-staggered";
+      case Strategy::CaDd:
+        return "ca-dd";
+      case Strategy::EcAlignedDd:
+        return "ec+aligned-dd";
+      case Strategy::Combined:
+        return "ca-ec+dd";
+    }
+    casq_panic("invalid Strategy");
+}
+
+ScheduledCircuit
+compileCircuit(const LayeredCircuit &logical, const Backend &backend,
+               const CompileOptions &options, Rng &rng)
+{
+    LayeredCircuit layered = logical;
+    if (options.twirl)
+        layered = pauliTwirl(layered, rng);
+
+    switch (options.strategy) {
+      case Strategy::Ec:
+        layered = applyCaEc(layered, backend, options.caec);
+        break;
+      case Strategy::EcAlignedDd: {
+        // Aligned DD removes the Z errors; compensation handles
+        // the surviving ZZ (paper Fig. 3c combined curve).
+        CaecOptions caec = options.caec;
+        caec.compensateZ = false;
+        caec.starkCompensation = false;
+        layered = applyCaEc(layered, backend, caec);
+        break;
+      }
+      case Strategy::Combined: {
+        // CA-DD covers idle contexts; compensation covers the
+        // gate-active contexts DD cannot touch (paper Sec. V E).
+        CaecOptions caec = caecActiveOnlyOptions();
+        caec.assumedDynamicIdleNs =
+            options.caec.assumedDynamicIdleNs;
+        layered = applyCaEc(layered, backend, caec);
+        break;
+      }
+      default:
+        break;
+    }
+
+    Circuit flat = layered.flatten();
+    if (options.lowerToNative)
+        flat = transpileToNative(flat, options.transpile);
+
+    ScheduledCircuit scheduled =
+        scheduleASAP(flat, backend.durations());
+
+    switch (options.strategy) {
+      case Strategy::DdAligned:
+        scheduled = applyUniformDd(scheduled, backend.durations(),
+                                   UniformDdStyle::Aligned,
+                                   options.cadd.minDuration);
+        break;
+      case Strategy::DdStaggered:
+        scheduled = applyUniformDd(scheduled, backend.durations(),
+                                   UniformDdStyle::StaggeredByParity,
+                                   options.cadd.minDuration);
+        break;
+      case Strategy::EcAlignedDd:
+        scheduled = applyUniformDd(scheduled, backend.durations(),
+                                   UniformDdStyle::Aligned,
+                                   options.cadd.minDuration);
+        break;
+      case Strategy::CaDd:
+      case Strategy::Combined:
+        scheduled = applyCaDd(scheduled, backend, options.cadd);
+        break;
+      default:
+        break;
+    }
+    return scheduled;
+}
+
+std::vector<ScheduledCircuit>
+compileEnsemble(const LayeredCircuit &logical, const Backend &backend,
+                const CompileOptions &options, int instances,
+                std::uint64_t seed)
+{
+    const int count = options.twirl ? instances : 1;
+    casq_assert(count >= 1, "need at least one instance");
+    std::vector<ScheduledCircuit> out;
+    out.reserve(count);
+    const Rng master(seed);
+    for (int k = 0; k < count; ++k) {
+        Rng rng = master.derive(std::uint64_t(k) + 7001);
+        out.push_back(
+            compileCircuit(logical, backend, options, rng));
+    }
+    return out;
+}
+
+} // namespace casq

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end compilation pipeline: twirl -> (CA-EC) -> flatten ->
+ * (transpile) -> schedule -> (DD pass), parameterized by the
+ * suppression strategy under study.  The benches compare the same
+ * strategies the paper's figures do.
+ */
+
+#ifndef CASQ_PASSES_PIPELINE_HH
+#define CASQ_PASSES_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/unitary.hh"
+#include "passes/ca_dd.hh"
+#include "passes/ca_ec.hh"
+#include "passes/twirling.hh"
+
+namespace casq {
+
+/** Error-suppression strategies compared throughout the paper. */
+enum class Strategy
+{
+    None,          //!< twirling only (when enabled)
+    Ec,            //!< context-aware error compensation (CA-EC)
+    DdAligned,     //!< context-unaware aligned X2 on idle windows
+    DdStaggered,   //!< context-unaware parity-staggered X2
+    CaDd,          //!< Algorithm 1
+    EcAlignedDd,   //!< ZZ compensation + aligned DD (Fig. 3c)
+    Combined,      //!< CA-DD + active-context CA-EC (Sec. V E)
+};
+
+/** Human-readable strategy label used in bench output. */
+std::string strategyName(Strategy strategy);
+
+/** Pipeline configuration. */
+struct CompileOptions
+{
+    Strategy strategy = Strategy::None;
+
+    /** Insert Pauli-twirl layers around two-qubit layers. */
+    bool twirl = true;
+
+    /** Lower to the native {rz, sx, x, cx, rzz} set (expands can). */
+    bool lowerToNative = false;
+
+    CaddOptions cadd;
+    CaecOptions caec;
+    TranspileOptions transpile;
+};
+
+/**
+ * Compile one instance of a logical layered circuit for the
+ * backend under the given strategy.  The rng drives twirl sampling.
+ */
+ScheduledCircuit compileCircuit(const LayeredCircuit &logical,
+                                const Backend &backend,
+                                const CompileOptions &options,
+                                Rng &rng);
+
+/**
+ * Compile `instances` independently twirled instances (or a single
+ * instance when twirling is disabled).
+ */
+std::vector<ScheduledCircuit> compileEnsemble(
+    const LayeredCircuit &logical, const Backend &backend,
+    const CompileOptions &options, int instances,
+    std::uint64_t seed);
+
+} // namespace casq
+
+#endif // CASQ_PASSES_PIPELINE_HH

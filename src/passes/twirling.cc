@@ -1,0 +1,104 @@
+#include "passes/twirling.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "circuit/unitary.hh"
+#include "common/logging.hh"
+
+namespace casq {
+
+namespace {
+
+std::string
+gateKey(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+    for (double p : inst.params)
+        os << "," << std::llround(p * 1e9);
+    return os.str();
+}
+
+Instruction
+pauliInstruction(PauliOp op, std::uint32_t q)
+{
+    static const Op ops[] = {Op::I, Op::X, Op::Y, Op::Z};
+    Instruction inst(ops[int(op)], {q});
+    inst.tag = InstTag::Twirl;
+    return inst;
+}
+
+} // namespace
+
+const Conjugation2Q &
+TwirlTableCache::tableFor(const Instruction &inst)
+{
+    casq_assert(opIsTwoQubitGate(inst.op),
+                "twirl table for non-2q gate ", opName(inst.op));
+    const std::string key = gateKey(inst);
+    auto it = _tables.find(key);
+    if (it == _tables.end()) {
+        it = _tables
+                 .emplace(key,
+                          Conjugation2Q(instructionUnitary(inst)))
+                 .first;
+    }
+    return it->second;
+}
+
+LayeredCircuit
+pauliTwirl(const LayeredCircuit &circuit, Rng &rng,
+           TwirlTableCache &cache)
+{
+    LayeredCircuit out(circuit.numQubits(), circuit.numClbits());
+    for (const Layer &layer : circuit.layers()) {
+        if (layer.kind != LayerKind::TwoQubit) {
+            out.addLayer(layer);
+            continue;
+        }
+        Layer pre{LayerKind::OneQubit, {}};
+        Layer post{LayerKind::OneQubit, {}};
+        for (const Instruction &inst : layer.insts) {
+            if (!opIsTwoQubitGate(inst.op))
+                continue;
+            const Conjugation2Q &table = cache.tableFor(inst);
+            const auto &twirl_set = table.twirlSet();
+            casq_assert(!twirl_set.empty(), "empty twirl set");
+            const Pauli2 p =
+                twirl_set[rng.uniformInt(twirl_set.size())];
+            const auto image = table.conjugate(p);
+            casq_assert(image.has_value(),
+                        "twirl Pauli without conjugation image");
+            if (p.op0 != PauliOp::I)
+                pre.insts.push_back(
+                    pauliInstruction(p.op0, inst.qubits[0]));
+            if (p.op1 != PauliOp::I)
+                pre.insts.push_back(
+                    pauliInstruction(p.op1, inst.qubits[1]));
+            if (image->pauli.op0 != PauliOp::I)
+                post.insts.push_back(
+                    pauliInstruction(image->pauli.op0,
+                                     inst.qubits[0]));
+            if (image->pauli.op1 != PauliOp::I)
+                post.insts.push_back(
+                    pauliInstruction(image->pauli.op1,
+                                     inst.qubits[1]));
+        }
+        if (!pre.insts.empty())
+            out.addLayer(std::move(pre));
+        out.addLayer(layer);
+        if (!post.insts.empty())
+            out.addLayer(std::move(post));
+    }
+    return out;
+}
+
+LayeredCircuit
+pauliTwirl(const LayeredCircuit &circuit, Rng &rng)
+{
+    TwirlTableCache cache;
+    return pauliTwirl(circuit, rng, cache);
+}
+
+} // namespace casq

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pauli twirling of two-qubit gate layers (paper Sec. III A,
+ * Fig. 2).
+ *
+ * For every two-qubit gate a Pauli pair P is sampled from the gate's
+ * valid twirl set (all 16 pairs for Clifford gates such as ECR/CX;
+ * the commutant subset such as {II, XX, YY, ZZ} for Heisenberg
+ * canonical blocks) and the conjugated Pauli Q = U P U^dagger is
+ * inserted after the gate, leaving the logical circuit unchanged up
+ * to a global sign.  Twirl gates are materialized as tagged
+ * single-qubit Pauli layers so that the CA-EC pass can commute its
+ * compensations through them exactly as in Algorithm 2.
+ */
+
+#ifndef CASQ_PASSES_TWIRLING_HH
+#define CASQ_PASSES_TWIRLING_HH
+
+#include <map>
+#include <string>
+
+#include "circuit/stratify.hh"
+#include "common/rng.hh"
+#include "pauli/clifford.hh"
+
+namespace casq {
+
+/** Cache of numerically-built conjugation tables per gate kind. */
+class TwirlTableCache
+{
+  public:
+    /** Table for a two-qubit unitary instruction. */
+    const Conjugation2Q &tableFor(const Instruction &inst);
+
+  private:
+    std::map<std::string, Conjugation2Q> _tables;
+};
+
+/**
+ * Produce one independently twirled instance of the layered
+ * circuit: every TwoQubit layer gains a tagged Pauli layer before
+ * and after.  The logical operation is unchanged (up to global
+ * phase).
+ */
+LayeredCircuit pauliTwirl(const LayeredCircuit &circuit, Rng &rng,
+                          TwirlTableCache &cache);
+
+/** Convenience overload with a private table cache. */
+LayeredCircuit pauliTwirl(const LayeredCircuit &circuit, Rng &rng);
+
+} // namespace casq
+
+#endif // CASQ_PASSES_TWIRLING_HH

@@ -1,0 +1,73 @@
+#include "pauli/clifford.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+std::array<Pauli2, 16>
+allPauli2()
+{
+    std::array<Pauli2, 16> out;
+    std::size_t k = 0;
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+            out[k++] = Pauli2{PauliOp(b), PauliOp(a)};
+    return out;
+}
+
+CMat
+pauli2Matrix(const Pauli2 &p)
+{
+    // Qubit 1 occupies the more significant factor.
+    return kron(pauliMatrix(p.op1), pauliMatrix(p.op0));
+}
+
+std::size_t
+Conjugation2Q::index(const Pauli2 &p)
+{
+    return std::size_t(p.op1) * 4 + std::size_t(p.op0);
+}
+
+Conjugation2Q::Conjugation2Q(const CMat &u, double tol)
+{
+    casq_assert(u.rows() == 4 && u.cols() == 4,
+                "Conjugation2Q requires a 4x4 unitary");
+    casq_assert(u.isUnitary(1e-7), "Conjugation2Q input is not unitary");
+    const CMat udag = u.dagger();
+    for (const Pauli2 &p : allPauli2()) {
+        const CMat m = u * pauli2Matrix(p) * udag;
+        // Search for a Pauli Q with m == sign * Q.  Since m is
+        // Hermitian with m^2 = I, any Pauli match has sign +-1; we
+        // detect it from the Hilbert-Schmidt overlap tr(Q m)/4.
+        std::optional<SignedPauli2> found;
+        for (const Pauli2 &q : allPauli2()) {
+            const Complex overlap =
+                (pauli2Matrix(q) * m).trace() * 0.25;
+            if (std::abs(std::abs(overlap.real()) - 1.0) < tol &&
+                std::abs(overlap.imag()) < tol) {
+                const int sign = overlap.real() > 0 ? 1 : -1;
+                const CMat expected =
+                    pauli2Matrix(q) * Complex(double(sign), 0.0);
+                if (m.approxEqual(expected, 1e-6)) {
+                    found = SignedPauli2{q, sign};
+                    break;
+                }
+            }
+        }
+        _table[index(p)] = found;
+        if (found)
+            _twirlSet.push_back(p);
+        else
+            _isClifford = false;
+    }
+}
+
+std::optional<SignedPauli2>
+Conjugation2Q::conjugate(const Pauli2 &p) const
+{
+    return _table[index(p)];
+}
+
+} // namespace casq

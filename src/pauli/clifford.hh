@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Numerically-constructed Pauli conjugation tables for two-qubit
+ * unitaries.
+ *
+ * Pauli twirling (paper Sec. III A) requires, for every two-qubit
+ * gate U and sampled Pauli pair P, the Pauli Q with Q U P = U (up to
+ * a +-1 global phase).  Instead of hand-deriving tables per gate we
+ * compute U P U^dagger numerically once per (gate, params) and cache
+ * the result; this also yields the valid twirl subgroup of
+ * non-Clifford gates such as the Heisenberg canonical block, for
+ * which only {II, XX, YY, ZZ} survives.
+ */
+
+#ifndef CASQ_PAULI_CLIFFORD_HH
+#define CASQ_PAULI_CLIFFORD_HH
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "pauli/pauli.hh"
+
+namespace casq {
+
+/** A two-qubit Pauli (qubit 0 is the less significant factor). */
+struct Pauli2
+{
+    PauliOp op0 = PauliOp::I;
+    PauliOp op1 = PauliOp::I;
+
+    bool operator==(const Pauli2 &rhs) const = default;
+};
+
+/** A two-qubit Pauli together with a +-1 sign. */
+struct SignedPauli2
+{
+    Pauli2 pauli;
+    int sign = 1;
+};
+
+/** The 16 two-qubit Paulis in (op1, op0) lexicographic order. */
+std::array<Pauli2, 16> allPauli2();
+
+/** 4x4 matrix of a two-qubit Pauli (qubit 0 least significant). */
+CMat pauli2Matrix(const Pauli2 &p);
+
+/**
+ * Conjugation table of a fixed 4x4 unitary: maps each two-qubit
+ * Pauli P to U P U^dagger when that conjugation is again a signed
+ * Pauli, and records which inputs fail (non-Clifford directions).
+ */
+class Conjugation2Q
+{
+  public:
+    /** Build the table by conjugating all 16 Paulis through u. */
+    explicit Conjugation2Q(const CMat &u, double tol = 1e-8);
+
+    /** True if every Pauli maps to a signed Pauli (U is Clifford). */
+    bool isClifford() const { return _isClifford; }
+
+    /**
+     * Conjugation U P U^dagger of the given Pauli, or nullopt when
+     * the image is not a signed Pauli.
+     */
+    std::optional<SignedPauli2> conjugate(const Pauli2 &p) const;
+
+    /**
+     * The Paulis whose conjugation is again a signed Pauli; this is
+     * the valid twirl set for the gate.  Always contains II; for a
+     * Clifford gate it is all 16 Paulis.
+     */
+    const std::vector<Pauli2> &twirlSet() const { return _twirlSet; }
+
+  private:
+    std::array<std::optional<SignedPauli2>, 16> _table;
+    std::vector<Pauli2> _twirlSet;
+    bool _isClifford = true;
+
+    static std::size_t index(const Pauli2 &p);
+};
+
+} // namespace casq
+
+#endif // CASQ_PAULI_CLIFFORD_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * n-qubit Pauli strings with phase tracking.
+ *
+ * Pauli strings are the working currency of twirling (Sec. III A),
+ * of the commute/anti-commute bookkeeping in context-aware error
+ * compensation (Algorithm 2, lines 22-27), and of observable
+ * estimation in the experiment protocols.
+ */
+
+#ifndef CASQ_PAULI_PAULI_HH
+#define CASQ_PAULI_PAULI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hh"
+
+namespace casq {
+
+/** Single-qubit Pauli operator label. */
+enum class PauliOp : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** 2x2 matrix of a single-qubit Pauli. */
+CMat pauliMatrix(PauliOp op);
+
+/** One-character label: I, X, Y or Z. */
+char pauliChar(PauliOp op);
+
+/** Parse a single I/X/Y/Z character (case insensitive). */
+PauliOp pauliFromChar(char c);
+
+/**
+ * Product of two single-qubit Paulis: a * b = i^phase * result.
+ * The returned phase exponent is 0..3.
+ */
+struct PauliProduct
+{
+    PauliOp op;
+    std::uint8_t phasePower;
+};
+PauliProduct multiply(PauliOp a, PauliOp b);
+
+/** True iff the two single-qubit Paulis commute. */
+bool commutes(PauliOp a, PauliOp b);
+
+/**
+ * An n-qubit Pauli string with an overall phase i^k, k in 0..3.
+ *
+ * Qubit 0 is the least significant factor; matrix() returns
+ * op(n-1) (x) ... (x) op(0) so that it matches the statevector
+ * bit-ordering convention used throughout casq.
+ */
+class PauliString
+{
+  public:
+    /** Identity string on n qubits. */
+    explicit PauliString(std::size_t num_qubits = 0);
+
+    /** Construct from explicit per-qubit operators (qubit 0 first). */
+    explicit PauliString(std::vector<PauliOp> ops,
+                         std::uint8_t phase_power = 0);
+
+    /**
+     * Parse from a label like "XIZ" (leftmost character is the
+     * highest-numbered qubit, matching conventional circuit notation)
+     * with an optional leading '+', '-', 'i' or '-i'.
+     */
+    static PauliString fromLabel(const std::string &label);
+
+    /** A single-qubit Pauli embedded in an n-qubit identity string. */
+    static PauliString single(std::size_t num_qubits, std::size_t qubit,
+                              PauliOp op);
+
+    /** A two-qubit Pauli embedded in an n-qubit identity string. */
+    static PauliString two(std::size_t num_qubits, std::size_t q0,
+                           PauliOp op0, std::size_t q1, PauliOp op1);
+
+    std::size_t numQubits() const { return _ops.size(); }
+
+    PauliOp op(std::size_t qubit) const { return _ops[qubit]; }
+
+    /** Replace the operator on one qubit. */
+    void setOp(std::size_t qubit, PauliOp op) { _ops[qubit] = op; }
+
+    /** Phase exponent k of the overall i^k prefactor. */
+    std::uint8_t phasePower() const { return _phase; }
+
+    /** Overall phase as a complex number. */
+    Complex phase() const;
+
+    /** Multiply the phase by i^k. */
+    void mulPhase(std::uint8_t k) { _phase = (_phase + k) & 3; }
+
+    /** Number of non-identity factors. */
+    std::size_t weight() const;
+
+    /** True if every factor is the identity (phase ignored). */
+    bool isIdentity() const;
+
+    /** Operator product (phases accumulate). */
+    PauliString operator*(const PauliString &rhs) const;
+
+    /** True iff the two strings commute as operators. */
+    bool commutesWith(const PauliString &rhs) const;
+
+    /** Full 2^n x 2^n matrix including the phase. */
+    CMat matrix() const;
+
+    /**
+     * Equality of operators and phases.  For phase-insensitive
+     * comparison, compare the ops() vectors directly.
+     */
+    bool operator==(const PauliString &rhs) const;
+
+    const std::vector<PauliOp> &ops() const { return _ops; }
+
+    /** Label such as "-XZI" (qubit n-1 leftmost). */
+    std::string toString() const;
+
+  private:
+    std::vector<PauliOp> _ops;
+    std::uint8_t _phase = 0;
+};
+
+/** All 4^n n-qubit Pauli strings (phase +1), in lexicographic order. */
+std::vector<PauliString> allPauliStrings(std::size_t num_qubits);
+
+} // namespace casq
+
+#endif // CASQ_PAULI_PAULI_HH

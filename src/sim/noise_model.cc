@@ -1,0 +1,37 @@
+#include "sim/noise_model.hh"
+
+namespace casq {
+
+NoiseModel
+NoiseModel::ideal()
+{
+    NoiseModel m;
+    m.coherentZz = false;
+    m.starkShift = false;
+    m.measurementStark = false;
+    m.chargeParity = false;
+    m.quasiStatic = false;
+    m.whiteDephasing = false;
+    m.amplitudeDamping = false;
+    m.gateDepolarizing = false;
+    m.readoutError = false;
+    return m;
+}
+
+NoiseModel
+NoiseModel::coherentOnly()
+{
+    NoiseModel m = ideal();
+    m.coherentZz = true;
+    m.starkShift = true;
+    m.measurementStark = true;
+    return m;
+}
+
+NoiseModel
+NoiseModel::standard()
+{
+    return NoiseModel{};
+}
+
+} // namespace casq

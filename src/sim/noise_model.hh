@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Noise-model configuration: which physical error mechanisms the
+ * trajectory simulator injects.  Rates and times come from the
+ * Backend calibration tables; this struct only toggles and scales
+ * mechanisms, which the benches use for ablations.
+ */
+
+#ifndef CASQ_SIM_NOISE_MODEL_HH
+#define CASQ_SIM_NOISE_MODEL_HH
+
+namespace casq {
+
+/** Switches and scales for the simulated error mechanisms. */
+struct NoiseModel
+{
+    /** Always-on ZZ (paper Eq. 1) with toggling-frame refocusing. */
+    bool coherentZz = true;
+
+    /** AC Stark shift on spectators of driven qubits (Fig. 4a). */
+    bool starkShift = true;
+
+    /**
+     * Readout-induced Stark shift on neighbours of a qubit while
+     * it is measured (dominant in the Fig. 9 dynamic circuits).
+     */
+    bool measurementStark = true;
+
+    /** Charge-parity +-delta Z with per-shot sign (Fig. 4b). */
+    bool chargeParity = true;
+
+    /**
+     * Quasi-static per-shot Gaussian detuning: the slow component
+     * of dephasing that DD refocuses but EC cannot predict.
+     */
+    bool quasiStatic = true;
+
+    /** Markovian dephasing (T2-style Z jumps, not refocusable). */
+    bool whiteDephasing = true;
+
+    /** T1 relaxation (amplitude-damping jumps). */
+    bool amplitudeDamping = true;
+
+    /** Depolarizing error after every physical gate. */
+    bool gateDepolarizing = true;
+
+    /** Assignment errors on mid-circuit measurement records. */
+    bool readoutError = true;
+
+    /** Multiplier on all coherent crosstalk rates. */
+    double coherentScale = 1.0;
+
+    /** Everything off: the ideal simulator. */
+    static NoiseModel ideal();
+
+    /** Only coherent mechanisms (ZZ + Stark). */
+    static NoiseModel coherentOnly();
+
+    /** All mechanisms on (the default). */
+    static NoiseModel standard();
+};
+
+} // namespace casq
+
+#endif // CASQ_SIM_NOISE_MODEL_HH

@@ -1,0 +1,312 @@
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+Statevector::Statevector(std::size_t num_qubits)
+    : _numQubits(num_qubits),
+      _amps(std::size_t(1) << num_qubits)
+{
+    casq_assert(num_qubits <= 24, "statevector too large");
+    _amps[0] = 1.0;
+}
+
+void
+Statevector::reset()
+{
+    std::fill(_amps.begin(), _amps.end(), Complex{});
+    _amps[0] = 1.0;
+}
+
+void
+Statevector::applyGate1q(const CMat &u, std::uint32_t q)
+{
+    const std::size_t mask = std::size_t(1) << q;
+    const Complex u00 = u(0, 0), u01 = u(0, 1);
+    const Complex u10 = u(1, 0), u11 = u(1, 1);
+    const std::size_t n = _amps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i & mask)
+            continue;
+        const Complex a = _amps[i];
+        const Complex b = _amps[i | mask];
+        _amps[i] = u00 * a + u01 * b;
+        _amps[i | mask] = u10 * a + u11 * b;
+    }
+}
+
+void
+Statevector::applyGate2q(const CMat &u, std::uint32_t q0,
+                         std::uint32_t q1)
+{
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    Complex m[4][4];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            m[r][c] = u(r, c);
+    const std::size_t n = _amps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & m0) || (i & m1))
+            continue;
+        const std::size_t idx[4] = {i, i | m0, i | m1, i | m0 | m1};
+        Complex v[4];
+        for (int k = 0; k < 4; ++k)
+            v[k] = _amps[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Complex acc{};
+            for (int k = 0; k < 4; ++k)
+                acc += m[r][k] * v[k];
+            _amps[idx[r]] = acc;
+        }
+    }
+}
+
+void
+Statevector::applyRz(std::uint32_t q, double theta)
+{
+    const std::size_t mask = std::size_t(1) << q;
+    const Complex p0 = std::exp(Complex(0, -theta * 0.5));
+    const Complex p1 = std::exp(Complex(0, theta * 0.5));
+    for (std::size_t i = 0; i < _amps.size(); ++i)
+        _amps[i] *= (i & mask) ? p1 : p0;
+}
+
+void
+Statevector::applyRzz(std::uint32_t q0, std::uint32_t q1,
+                      double theta)
+{
+    applyPhases({}, {PairAngle{q0, q1, theta}});
+}
+
+void
+Statevector::applyPhases(const std::vector<QubitAngle> &z_angles,
+                         const std::vector<PairAngle> &zz_angles)
+{
+    if (z_angles.empty() && zz_angles.empty())
+        return;
+    const std::size_t n = _amps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double ang = 0.0;
+        for (const auto &za : z_angles) {
+            // Rz eigenphase: -theta/2 on |0>, +theta/2 on |1>.
+            ang += (i >> za.qubit) & 1 ? 0.5 * za.theta
+                                       : -0.5 * za.theta;
+        }
+        for (const auto &pa : zz_angles) {
+            const int parity = int((i >> pa.q0) & 1) ^
+                               int((i >> pa.q1) & 1);
+            ang += parity ? 0.5 * pa.theta : -0.5 * pa.theta;
+        }
+        _amps[i] *= Complex(std::cos(ang), std::sin(ang));
+    }
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    casq_assert(p.numQubits() == _numQubits,
+                "Pauli width mismatch");
+    std::size_t xmask = 0;
+    std::size_t zmask = 0;
+    std::size_t ymask = 0;
+    for (std::size_t q = 0; q < _numQubits; ++q) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            xmask |= std::size_t(1) << q;
+            break;
+          case PauliOp::Y:
+            xmask |= std::size_t(1) << q;
+            ymask |= std::size_t(1) << q;
+            break;
+          case PauliOp::Z:
+            zmask |= std::size_t(1) << q;
+            break;
+          case PauliOp::I:
+            break;
+        }
+    }
+    const Complex global = p.phase();
+    const std::size_t n = _amps.size();
+    std::vector<Complex> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // P |i> = c(i) |i ^ xmask>.
+        const std::size_t j = i ^ xmask;
+        Complex c = global;
+        // Z factors: (-1)^bit.
+        if (__builtin_popcountll(i & zmask) & 1)
+            c = -c;
+        // Y factors: i on |0> -> |1>, -i on |1> -> |0>.
+        std::size_t ybits = ymask;
+        while (ybits) {
+            const std::size_t bit = ybits & (~ybits + 1);
+            c *= (i & bit) ? Complex(0, -1) : Complex(0, 1);
+            ybits ^= bit;
+        }
+        out[j] = c * _amps[i];
+    }
+    _amps.swap(out);
+}
+
+void
+Statevector::applyPauliOp(PauliOp op, std::uint32_t q)
+{
+    if (op == PauliOp::I)
+        return;
+    applyGate1q(pauliMatrix(op), q);
+}
+
+double
+Statevector::probabilityOne(std::uint32_t q) const
+{
+    const std::size_t mask = std::size_t(1) << q;
+    double p = 0.0;
+    for (std::size_t i = 0; i < _amps.size(); ++i)
+        if (i & mask)
+            p += std::norm(_amps[i]);
+    return p;
+}
+
+double
+Statevector::probabilityOfOutcome(
+    const std::vector<std::uint32_t> &qubits,
+    const std::vector<int> &bits) const
+{
+    casq_assert(qubits.size() == bits.size(),
+                "outcome spec size mismatch");
+    std::size_t mask = 0, want = 0;
+    for (std::size_t k = 0; k < qubits.size(); ++k) {
+        mask |= std::size_t(1) << qubits[k];
+        if (bits[k])
+            want |= std::size_t(1) << qubits[k];
+    }
+    double p = 0.0;
+    for (std::size_t i = 0; i < _amps.size(); ++i)
+        if ((i & mask) == want)
+            p += std::norm(_amps[i]);
+    return p;
+}
+
+int
+Statevector::measure(std::uint32_t q, Rng &rng)
+{
+    const double p1 = probabilityOne(q);
+    const int outcome = rng.uniform() < p1 ? 1 : 0;
+    collapse(q, outcome);
+    return outcome;
+}
+
+void
+Statevector::collapse(std::uint32_t q, int outcome)
+{
+    const std::size_t mask = std::size_t(1) << q;
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        const bool one = (i & mask) != 0;
+        if (one != (outcome == 1))
+            _amps[i] = 0.0;
+    }
+    renormalize();
+}
+
+void
+Statevector::amplitudeDamp(std::uint32_t q, double tau, double t1,
+                           Rng &rng)
+{
+    if (tau <= 0.0 || t1 <= 0.0)
+        return;
+    const double decay = std::exp(-tau / t1);
+    const double p1 = probabilityOne(q);
+    const double p_jump = p1 * (1.0 - decay);
+    const std::size_t mask = std::size_t(1) << q;
+    if (rng.uniform() < p_jump) {
+        // Jump: |1> decays to |0>.
+        for (std::size_t i = 0; i < _amps.size(); ++i) {
+            if (i & mask) {
+                _amps[i & ~mask] = _amps[i];
+                _amps[i] = 0.0;
+            }
+        }
+    } else {
+        // No-jump back-action: damp the |1> amplitudes.
+        const double k = std::sqrt(decay);
+        for (std::size_t i = 0; i < _amps.size(); ++i)
+            if (i & mask)
+                _amps[i] *= k;
+    }
+    renormalize();
+}
+
+double
+Statevector::expectation(const PauliString &p) const
+{
+    casq_assert(p.numQubits() == _numQubits,
+                "Pauli width mismatch");
+    std::size_t xmask = 0, zmask = 0, ymask = 0;
+    for (std::size_t q = 0; q < _numQubits; ++q) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            xmask |= std::size_t(1) << q;
+            break;
+          case PauliOp::Y:
+            xmask |= std::size_t(1) << q;
+            ymask |= std::size_t(1) << q;
+            break;
+          case PauliOp::Z:
+            zmask |= std::size_t(1) << q;
+            break;
+          case PauliOp::I:
+            break;
+        }
+    }
+    const Complex global = p.phase();
+    Complex acc{};
+    const std::size_t n = _amps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = i ^ xmask;
+        Complex c = global;
+        if (__builtin_popcountll(i & zmask) & 1)
+            c = -c;
+        std::size_t ybits = ymask;
+        while (ybits) {
+            const std::size_t bit = ybits & (~ybits + 1);
+            c *= (i & bit) ? Complex(0, -1) : Complex(0, 1);
+            ybits ^= bit;
+        }
+        acc += std::conj(_amps[j]) * c * _amps[i];
+    }
+    return acc.real();
+}
+
+Complex
+Statevector::overlap(const Statevector &other) const
+{
+    casq_assert(other.size() == size(), "overlap size mismatch");
+    Complex acc{};
+    for (std::size_t i = 0; i < _amps.size(); ++i)
+        acc += std::conj(other._amps[i]) * _amps[i];
+    return acc;
+}
+
+double
+Statevector::norm() const
+{
+    double n = 0.0;
+    for (const auto &a : _amps)
+        n += std::norm(a);
+    return n;
+}
+
+void
+Statevector::renormalize()
+{
+    const double n = std::sqrt(norm());
+    casq_assert(n > 1e-12, "state collapsed to zero norm");
+    const double inv = 1.0 / n;
+    for (auto &a : _amps)
+        a *= inv;
+}
+
+} // namespace casq

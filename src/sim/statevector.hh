@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Dense statevector with the specialized kernels needed by the
+ * trajectory simulator: generic 1q/2q gate application, a fused
+ * diagonal-phase kernel for the per-segment Z/ZZ crosstalk errors,
+ * projective measurement, amplitude damping, and exact Pauli
+ * expectation values.
+ */
+
+#ifndef CASQ_SIM_STATEVECTOR_HH
+#define CASQ_SIM_STATEVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/rng.hh"
+#include "pauli/pauli.hh"
+
+namespace casq {
+
+/** Per-qubit Z-rotation angle entry for the fused phase kernel. */
+struct QubitAngle
+{
+    std::uint32_t qubit;
+    double theta; //!< Rz(theta) = exp(-i theta Z / 2)
+};
+
+/** Per-pair ZZ-rotation angle entry for the fused phase kernel. */
+struct PairAngle
+{
+    std::uint32_t q0;
+    std::uint32_t q1;
+    double theta; //!< Rzz(theta) = exp(-i theta ZZ / 2)
+};
+
+/** Dense complex statevector over n qubits (qubit 0 = LSB). */
+class Statevector
+{
+  public:
+    explicit Statevector(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return _numQubits; }
+    std::size_t size() const { return _amps.size(); }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    const std::vector<Complex> &amplitudes() const { return _amps; }
+    Complex &amp(std::size_t i) { return _amps[i]; }
+
+    /** Apply a 2x2 unitary to qubit q. */
+    void applyGate1q(const CMat &u, std::uint32_t q);
+
+    /** Apply a 4x4 unitary to (q0 = less significant, q1). */
+    void applyGate2q(const CMat &u, std::uint32_t q0,
+                     std::uint32_t q1);
+
+    /** Rz(theta) on q (diagonal fast path). */
+    void applyRz(std::uint32_t q, double theta);
+
+    /** Rzz(theta) on (q0, q1) (diagonal fast path). */
+    void applyRzz(std::uint32_t q0, std::uint32_t q1, double theta);
+
+    /**
+     * Fused diagonal kernel: applies all the given Rz and Rzz
+     * angles in a single pass over the state.  This is the hot path
+     * of crosstalk-noise injection (one call per timeline segment).
+     */
+    void applyPhases(const std::vector<QubitAngle> &z_angles,
+                     const std::vector<PairAngle> &zz_angles);
+
+    /** Apply a Pauli string (its phase included). */
+    void applyPauli(const PauliString &p);
+
+    /** Apply a single-qubit Pauli by enum. */
+    void applyPauliOp(PauliOp op, std::uint32_t q);
+
+    /** Probability that qubit q reads 1. */
+    double probabilityOne(std::uint32_t q) const;
+
+    /** Probability of a full/partial computational outcome. */
+    double probabilityOfOutcome(
+        const std::vector<std::uint32_t> &qubits,
+        const std::vector<int> &bits) const;
+
+    /** Projective measurement with collapse; returns the outcome. */
+    int measure(std::uint32_t q, Rng &rng);
+
+    /** Project qubit q onto `outcome` and renormalize. */
+    void collapse(std::uint32_t q, int outcome);
+
+    /**
+     * Amplitude-damping channel for idling time tau with relaxation
+     * time t1, unravelled as a quantum jump (one of the two Kraus
+     * branches is sampled and the state renormalized).
+     */
+    void amplitudeDamp(std::uint32_t q, double tau, double t1,
+                       Rng &rng);
+
+    /** Exact expectation <psi| P |psi> (real part). */
+    double expectation(const PauliString &p) const;
+
+    /** <other|this>. */
+    Complex overlap(const Statevector &other) const;
+
+    /** Squared norm (should stay 1 within roundoff). */
+    double norm() const;
+
+  private:
+    std::size_t _numQubits;
+    std::vector<Complex> _amps;
+
+    void renormalize();
+};
+
+} // namespace casq
+
+#endif // CASQ_SIM_STATEVECTOR_HH

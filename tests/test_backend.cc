@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "device/backend.hh"
+
+namespace casq {
+namespace {
+
+TEST(Backend, FakeNazcaShape)
+{
+    const Backend backend = makeFakeNazca();
+    EXPECT_EQ(backend.numQubits(), 127u);
+    EXPECT_EQ(backend.name(), "fake_nazca");
+    // Every coupled pair has calibration data in the typical range.
+    for (const auto &edge : backend.coupling().edges()) {
+        const PairProperties &p = backend.pair(edge.a, edge.b);
+        EXPECT_GT(p.zzRateMHz, 0.01);
+        EXPECT_LT(p.zzRateMHz, 0.2);
+        EXPECT_GT(p.gateError2q, 0.0);
+    }
+}
+
+TEST(Backend, DeterministicForSeed)
+{
+    const Backend a = makeFakeNazca(42);
+    const Backend b = makeFakeNazca(42);
+    const Backend c = makeFakeNazca(43);
+    EXPECT_DOUBLE_EQ(a.pair(37, 38).zzRateMHz,
+                     b.pair(37, 38).zzRateMHz);
+    EXPECT_NE(a.pair(37, 38).zzRateMHz, c.pair(37, 38).zzRateMHz);
+}
+
+TEST(Backend, ZzRateLookup)
+{
+    const Backend backend = makeFakeLinear(4);
+    EXPECT_GT(backend.zzRate(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(backend.zzRate(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(backend.zzRate(0, 3), 0.0);
+}
+
+TEST(Backend, NnnPairRegistration)
+{
+    Backend backend = makeFakeLinear(4);
+    backend.addNnnPair(0, 2, 0.012);
+    EXPECT_TRUE(backend.hasPair(0, 2));
+    EXPECT_TRUE(backend.pair(0, 2).nextNearest);
+    EXPECT_DOUBLE_EQ(backend.zzRate(0, 2), 0.012);
+}
+
+TEST(Backend, CrosstalkGraphThreshold)
+{
+    Backend backend = makeFakeLinear(4);
+    backend.pair(0, 1).zzRateMHz = 0.002;
+    backend.pair(1, 2).zzRateMHz = 0.08;
+    backend.pair(2, 3).zzRateMHz = 0.07;
+    const CrosstalkGraph graph = backend.crosstalkGraph(0.01);
+    EXPECT_FALSE(graph.connected(0, 1));
+    EXPECT_TRUE(graph.connected(1, 2));
+}
+
+TEST(Backend, FakeSherbrookeHasCollisionTriplet)
+{
+    const Backend backend = makeFakeSherbrooke();
+    EXPECT_TRUE(backend.hasPair(0, 2));
+    EXPECT_TRUE(backend.pair(0, 2).nextNearest);
+    const CrosstalkGraph graph = backend.crosstalkGraph();
+    EXPECT_TRUE(graph.connected(0, 2));
+}
+
+TEST(Backend, SubsystemRelabeling)
+{
+    const Backend nazca = makeFakeNazca();
+    const std::vector<std::uint32_t> qubits{37, 38, 39, 52, 56};
+    const Backend sub = nazca.subsystem(qubits);
+    EXPECT_EQ(sub.numQubits(), 5u);
+    // 37-38 becomes 0-1; 37-52 becomes 0-3; 52-56 becomes 3-4.
+    EXPECT_TRUE(sub.coupling().hasEdge(0, 1));
+    EXPECT_TRUE(sub.coupling().hasEdge(0, 3));
+    EXPECT_TRUE(sub.coupling().hasEdge(3, 4));
+    EXPECT_FALSE(sub.coupling().hasEdge(0, 4));
+    EXPECT_DOUBLE_EQ(sub.pair(0, 1).zzRateMHz,
+                     nazca.pair(37, 38).zzRateMHz);
+    EXPECT_DOUBLE_EQ(sub.qubit(3).t1Ns, nazca.qubit(52).t1Ns);
+    EXPECT_EQ(sub.physicalLabels()[3], 52u);
+}
+
+TEST(Backend, QubitPropertiesRanges)
+{
+    const Backend backend = makeFakeRing(12);
+    for (std::uint32_t q = 0; q < 12; ++q) {
+        const QubitProperties &p = backend.qubit(q);
+        EXPECT_GT(p.t1Ns, 100e3);
+        EXPECT_GT(p.t2Ns, 50e3);
+        EXPECT_GT(p.readoutError, 0.0);
+        EXPECT_LT(p.readoutError, 0.1);
+    }
+}
+
+TEST(BackendDeath, PairLookupRejectsUncoupled)
+{
+    const Backend backend = makeFakeLinear(4);
+    EXPECT_DEATH(backend.pair(0, 3), "no pair");
+}
+
+} // namespace
+} // namespace casq

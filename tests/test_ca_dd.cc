@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "passes/ca_dd.hh"
+#include "passes/walsh.hh"
+
+namespace casq {
+namespace {
+
+Backend
+testBackend(std::size_t n)
+{
+    Backend backend("test", makeLinear(n));
+    for (const auto &edge : backend.coupling().edges())
+        backend.pair(edge.a, edge.b).zzRateMHz = 0.06;
+    return backend;
+}
+
+TEST(CaDd, CollectsAdjacentOverlappingWindows)
+{
+    Backend backend = testBackend(3);
+    Circuit qc(3, 0);
+    qc.delay(0, 2000).delay(1, 2000).sx(2);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    // Qubits 0 and 1 overlap and are coupled: one group of two
+    // members; qubit 2's idle tail is its own group.
+    bool found_joint = false;
+    for (const auto &g : groups)
+        if (g.members.size() >= 2)
+            found_joint = true;
+    EXPECT_TRUE(found_joint);
+}
+
+TEST(CaDd, ShortWindowsIgnored)
+{
+    Backend backend = testBackend(2);
+    Circuit qc(2, 0);
+    qc.sx(0).delay(0, 100).sx(0).sx(1).delay(1, 100).sx(1);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    EXPECT_TRUE(groups.empty());
+}
+
+TEST(CaDd, ColorGroupPinsActiveGates)
+{
+    Backend backend = testBackend(4);
+    // Qubit 0 idles while ECR(1 -> 2) runs; 3 idles next to the
+    // target.
+    Circuit qc(4, 0);
+    qc.barrier();
+    qc.ecr(1, 2);
+    qc.delay(0, 500).delay(3, 500);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    ASSERT_FALSE(groups.empty());
+    for (const auto &group : groups) {
+        const ColoredGroup colored = colorGroup(
+            group, sched, backend.crosstalkGraph(), 15);
+        for (const auto &member : group.members) {
+            const int color = colored.colors.at(member.qubit);
+            if (member.qubit == 0) {
+                // Control spectator: must differ from the echo
+                // row of its neighbouring control.
+                EXPECT_NE(color, kControlColor);
+                EXPECT_EQ(colored.pinned.at(1), kControlColor);
+            }
+            if (member.qubit == 3) {
+                EXPECT_NE(color, kTargetColor);
+                EXPECT_EQ(colored.pinned.at(2), kTargetColor);
+            }
+        }
+    }
+}
+
+TEST(CaDd, AppliesPulsesWithoutOverlap)
+{
+    Backend backend = testBackend(4);
+    Circuit qc(4, 0);
+    qc.h(0).h(1).h(2).h(3).barrier();
+    qc.ecr(1, 2);
+    qc.delay(0, 500).delay(3, 500);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const ScheduledCircuit dressed = applyCaDd(sched, backend);
+    EXPECT_EQ(dressed.findOverlap(), -1);
+
+    std::size_t dd_pulses = 0;
+    for (const auto &t : dressed.instructions())
+        if (t.inst.tag == InstTag::DD)
+            ++dd_pulses;
+    EXPECT_GE(dd_pulses, 4u); // two spectators, >= 2 pulses each
+    // Pulse count per qubit is even (frame restored).
+    std::map<std::uint32_t, int> per_qubit;
+    for (const auto &t : dressed.instructions())
+        if (t.inst.tag == InstTag::DD)
+            ++per_qubit[t.inst.qubits[0]];
+    for (const auto &[q, count] : per_qubit)
+        EXPECT_EQ(count % 2, 0) << "qubit " << q;
+}
+
+TEST(CaDd, AdjacentIdleQubitsGetStaggeredRows)
+{
+    Backend backend = testBackend(2);
+    Circuit qc(2, 0);
+    qc.delay(0, 2000).delay(1, 2000);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    ASSERT_EQ(groups.size(), 1u);
+    const ColoredGroup colored = colorGroup(
+        groups[0], sched, backend.crosstalkGraph(), 15);
+    EXPECT_NE(colored.colors.at(0), colored.colors.at(1));
+}
+
+TEST(CaDd, NoIdleQubitsNoPulses)
+{
+    Backend backend = testBackend(2);
+    Circuit qc(2, 0);
+    qc.ecr(0, 1);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const ScheduledCircuit dressed = applyCaDd(sched, backend);
+    EXPECT_EQ(dressed.instructions().size(),
+              sched.instructions().size());
+}
+
+TEST(CaDd, UniformDdStyles)
+{
+    Backend backend = testBackend(2);
+    Circuit qc(2, 0);
+    qc.delay(0, 2000).delay(1, 2000);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+
+    const ScheduledCircuit aligned = applyUniformDd(
+        sched, backend.durations(), UniformDdStyle::Aligned);
+    std::map<std::uint32_t, std::vector<double>> starts;
+    for (const auto &t : aligned.instructions())
+        if (t.inst.tag == InstTag::DD)
+            starts[t.inst.qubits[0]].push_back(t.start);
+    ASSERT_EQ(starts[0].size(), 2u);
+    ASSERT_EQ(starts[1].size(), 2u);
+    // Aligned: identical pulse times on both qubits.
+    EXPECT_NEAR(starts[0][0], starts[1][0], 1e-9);
+
+    const ScheduledCircuit staggered =
+        applyUniformDd(sched, backend.durations(),
+                       UniformDdStyle::StaggeredByParity);
+    starts.clear();
+    for (const auto &t : staggered.instructions())
+        if (t.inst.tag == InstTag::DD)
+            starts[t.inst.qubits[0]].push_back(t.start);
+    EXPECT_GT(std::abs(starts[0][0] - starts[1][0]), 100.0);
+}
+
+TEST(CaDd, NnnEdgeForcesThirdColor)
+{
+    Backend backend = testBackend(3);
+    backend.addNnnPair(0, 2, 0.01);
+    Circuit qc(3, 0);
+    qc.delay(0, 4000).delay(1, 4000).delay(2, 4000);
+    const ScheduledCircuit sched =
+        scheduleASAP(qc, backend.durations());
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    ASSERT_EQ(groups.size(), 1u);
+    const ColoredGroup colored = colorGroup(
+        groups[0], sched, backend.crosstalkGraph(), 15);
+    std::set<int> distinct;
+    for (const auto &[q, c] : colored.colors)
+        distinct.insert(c);
+    EXPECT_EQ(distinct.size(), 3u);
+}
+
+} // namespace
+} // namespace casq

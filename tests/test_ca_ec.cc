@@ -1,0 +1,238 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "experiments/ramsey.hh"
+#include "passes/ca_ec.hh"
+#include "sim/executor.hh"
+
+namespace casq {
+namespace {
+
+Backend
+coherentBackend(std::size_t n, double zz = 0.08)
+{
+    Backend backend("coh", makeLinear(n));
+    for (std::uint32_t q = 0; q < n; ++q) {
+        QubitProperties &p = backend.qubit(q);
+        p.t1Ns = 1e15;
+        p.t2Ns = 1e15;
+        p.readoutError = 0.0;
+        p.quasiStaticSigmaMHz = 0.0;
+        p.gateError1q = 0.0;
+    }
+    for (const auto &edge : backend.coupling().edges()) {
+        PairProperties &p = backend.pair(edge.a, edge.b);
+        p.zzRateMHz = zz;
+        p.starkShiftMHz = 0.0;
+        p.gateError2q = 0.0;
+    }
+    return backend;
+}
+
+double
+ramseyFidelity(const LayeredCircuit &layered, const Backend &backend,
+               const std::vector<std::uint32_t> &probes)
+{
+    const Executor executor(backend, NoiseModel::coherentOnly());
+    const ScheduledCircuit sched =
+        scheduleASAP(layered.flatten(), backend.durations());
+    ExecutionOptions opts;
+    opts.trajectories = 4;
+    const auto obs =
+        plusStateObservables(backend.numQubits(), probes);
+    const RunResult result = executor.run(sched, obs, opts);
+    return plusStateFidelity(result.means);
+}
+
+TEST(CaEc, CompensatesIdleIdleZz)
+{
+    const Backend backend = coherentBackend(2);
+    const LayeredCircuit base =
+        buildCaseIdleIdle(2, 0, 1, 6, 500.0);
+    const double bare = ramseyFidelity(base, backend, {0, 1});
+    EXPECT_LT(bare, 0.9); // errors are significant
+
+    CaecStats stats;
+    const LayeredCircuit fixed =
+        applyCaEc(base, backend, CaecOptions{}, &stats);
+    const double comp = ramseyFidelity(fixed, backend, {0, 1});
+    EXPECT_GT(comp, 0.999);
+    EXPECT_GT(stats.insertedRz, 0);
+    EXPECT_GT(stats.insertedRzz, 0);
+}
+
+TEST(CaEc, CompensatesSpectatorZ)
+{
+    const Backend backend = coherentBackend(4);
+    const LayeredCircuit base =
+        buildCaseSpectator(4, 1, 2, 8, {0, 3});
+    const double bare = ramseyFidelity(base, backend, {0, 3});
+    EXPECT_LT(bare, 0.9);
+
+    const LayeredCircuit fixed = applyCaEc(base, backend);
+    const double comp = ramseyFidelity(fixed, backend, {0, 3});
+    EXPECT_GT(comp, 0.999);
+}
+
+TEST(CaEc, CompensatesControlControlZz)
+{
+    const Backend backend = coherentBackend(4);
+    const LayeredCircuit base =
+        buildCaseControlControl(4, 1, 0, 2, 3, 4);
+    const double bare = ramseyFidelity(base, backend, {1, 2});
+    EXPECT_LT(bare, 0.95);
+
+    CaecStats stats;
+    const LayeredCircuit fixed =
+        applyCaEc(base, backend, CaecOptions{}, &stats);
+    const double comp = ramseyFidelity(fixed, backend, {1, 2});
+    EXPECT_GT(comp, 0.99);
+}
+
+TEST(CaEc, AbsorbsIntoCanGates)
+{
+    // A can gate following an idle period absorbs the ZZ
+    // compensation for free: gamma is modified, nothing inserted.
+    const Backend backend = coherentBackend(2);
+    LayeredCircuit circuit(2, 0);
+    Layer prep{LayerKind::OneQubit, {}};
+    prep.insts.emplace_back(Op::H, std::vector<std::uint32_t>{0});
+    prep.insts.emplace_back(Op::H, std::vector<std::uint32_t>{1});
+    circuit.addLayer(std::move(prep));
+    Layer idle{LayerKind::OneQubit, {}};
+    idle.insts.emplace_back(Op::Delay,
+                            std::vector<std::uint32_t>{0},
+                            std::vector<double>{800.0});
+    idle.insts.emplace_back(Op::Delay,
+                            std::vector<std::uint32_t>{1},
+                            std::vector<double>{800.0});
+    circuit.addLayer(std::move(idle));
+    Layer gate{LayerKind::TwoQubit, {}};
+    gate.insts.emplace_back(Op::Can,
+                            std::vector<std::uint32_t>{0, 1},
+                            std::vector<double>{0.3, 0.2, 0.4});
+    circuit.addLayer(std::move(gate));
+
+    CaecStats stats;
+    const LayeredCircuit fixed =
+        applyCaEc(circuit, backend, CaecOptions{}, &stats);
+    EXPECT_GE(stats.absorbedIntoGates, 1);
+    // Find the can gate: gamma must have moved from 0.4.
+    bool found = false;
+    for (const auto &layer : fixed.layers())
+        for (const auto &inst : layer.insts)
+            if (inst.op == Op::Can) {
+                EXPECT_NE(inst.params[2], 0.4);
+                found = true;
+            }
+    EXPECT_TRUE(found);
+}
+
+TEST(CaEc, AbsorbsIntoRzzGates)
+{
+    const Backend backend = coherentBackend(2);
+    LayeredCircuit circuit(2, 0);
+    Layer idle{LayerKind::OneQubit, {}};
+    idle.insts.emplace_back(Op::Delay,
+                            std::vector<std::uint32_t>{0},
+                            std::vector<double>{800.0});
+    idle.insts.emplace_back(Op::Delay,
+                            std::vector<std::uint32_t>{1},
+                            std::vector<double>{800.0});
+    circuit.addLayer(std::move(idle));
+    Layer gate{LayerKind::TwoQubit, {}};
+    gate.insts.emplace_back(Op::RZZ,
+                            std::vector<std::uint32_t>{0, 1},
+                            std::vector<double>{0.9});
+    circuit.addLayer(std::move(gate));
+
+    CaecStats stats;
+    const LayeredCircuit fixed =
+        applyCaEc(circuit, backend, CaecOptions{}, &stats);
+    EXPECT_GE(stats.absorbedIntoGates, 1);
+    for (const auto &layer : fixed.layers())
+        for (const auto &inst : layer.insts)
+            if (inst.op == Op::RZZ &&
+                inst.tag != InstTag::Compensation) {
+                EXPECT_LT(inst.params[0], 0.9);
+            }
+}
+
+TEST(CaEc, SignFlipsThroughTwirlPaulis)
+{
+    // Twirled instances must be compensated just as well as bare
+    // ones: the pass commutes compensation through the Pauli
+    // layers (Algorithm 2 lines 22-27).
+    const Backend backend = coherentBackend(2);
+    const LayeredCircuit base =
+        buildCaseIdleIdle(2, 0, 1, 6, 500.0);
+    Rng rng(11);
+    // Build a fake twirl situation: insert X gates around the
+    // idle layers manually.
+    LayeredCircuit twirled(2, 0);
+    for (std::size_t li = 0; li < base.layers().size(); ++li) {
+        twirled.addLayer(base.layers()[li]);
+        if (li == 3) {
+            Layer paulis{LayerKind::OneQubit, {}};
+            Instruction x0(Op::X, {0});
+            x0.tag = InstTag::Twirl;
+            paulis.insts.push_back(std::move(x0));
+            twirled.addLayer(std::move(paulis));
+            Layer undo{LayerKind::OneQubit, {}};
+            Instruction x1(Op::X, {0});
+            x1.tag = InstTag::Twirl;
+            undo.insts.push_back(std::move(x1));
+            twirled.addLayer(std::move(undo));
+        }
+    }
+    const LayeredCircuit fixed = applyCaEc(twirled, backend);
+    const double comp = ramseyFidelity(fixed, backend, {0, 1});
+    EXPECT_GT(comp, 0.995);
+}
+
+TEST(CaEc, MinAngleSkipsTinyCompensations)
+{
+    const Backend backend = coherentBackend(2, 1e-7);
+    const LayeredCircuit base =
+        buildCaseIdleIdle(2, 0, 1, 2, 500.0);
+    CaecOptions opts;
+    opts.minAngle = 1e-3;
+    CaecStats stats;
+    applyCaEc(base, backend, opts, &stats);
+    EXPECT_EQ(stats.insertedRz, 0);
+    EXPECT_EQ(stats.insertedRzz, 0);
+}
+
+TEST(CaEc, ActiveOnlyOptionsSkipIdlePairs)
+{
+    const Backend backend = coherentBackend(2);
+    const LayeredCircuit base =
+        buildCaseIdleIdle(2, 0, 1, 6, 500.0);
+    CaecStats stats;
+    applyCaEc(base, backend, caecActiveOnlyOptions(), &stats);
+    EXPECT_EQ(stats.insertedRzz, 0);
+}
+
+TEST(CaEc, StatsCountConditionalRules)
+{
+    Backend backend = coherentBackend(3);
+    LayeredCircuit circuit(3, 1);
+    Layer prep{LayerKind::OneQubit, {}};
+    prep.insts.emplace_back(Op::H, std::vector<std::uint32_t>{0});
+    circuit.addLayer(std::move(prep));
+    Layer dyn{LayerKind::Dynamic, {}};
+    Instruction meas(Op::Measure, {1});
+    meas.cbit = 0;
+    dyn.insts.push_back(std::move(meas));
+    circuit.addLayer(std::move(dyn));
+
+    CaecStats stats;
+    applyCaEc(circuit, backend, CaecOptions{}, &stats);
+    // Pairs (0,1) and (1,2) accumulate during the measurement and
+    // convert into conditional rules.
+    EXPECT_GE(stats.conditionalRz, 1);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+
+namespace casq {
+namespace {
+
+TEST(Gate, Metadata)
+{
+    EXPECT_EQ(opNumQubits(Op::ECR), 2u);
+    EXPECT_EQ(opNumQubits(Op::SX), 1u);
+    EXPECT_EQ(opNumParams(Op::Can), 3u);
+    EXPECT_EQ(opNumParams(Op::RZ), 1u);
+    EXPECT_TRUE(opIsUnitary(Op::CX));
+    EXPECT_FALSE(opIsUnitary(Op::Measure));
+    EXPECT_TRUE(opIsTwoQubitGate(Op::RZZ));
+    EXPECT_FALSE(opIsTwoQubitGate(Op::X));
+    EXPECT_TRUE(opIsDiagonal(Op::RZ));
+    EXPECT_TRUE(opIsDiagonal(Op::CZ));
+    EXPECT_FALSE(opIsDiagonal(Op::SX));
+    EXPECT_TRUE(opIsVirtual(Op::RZ));
+    EXPECT_FALSE(opIsVirtual(Op::X));
+    EXPECT_TRUE(opIsPauli(Op::Y));
+    EXPECT_FALSE(opIsPauli(Op::H));
+    EXPECT_STREQ(opName(Op::ECR), "ecr");
+}
+
+TEST(Circuit, BuilderAppendsInstructions)
+{
+    Circuit qc(3, 1);
+    qc.h(0).cx(0, 1).rz(2, 0.5).measure(2, 0);
+    EXPECT_EQ(qc.size(), 4u);
+    EXPECT_EQ(qc.instructions()[1].op, Op::CX);
+    EXPECT_EQ(qc.instructions()[3].cbit, 0);
+}
+
+TEST(Circuit, CountOps)
+{
+    Circuit qc(4, 0);
+    qc.ecr(0, 1).ecr(2, 3).x(0).cx(1, 2);
+    EXPECT_EQ(qc.countOps(Op::ECR), 2u);
+    EXPECT_EQ(qc.countTwoQubitGates(), 3u);
+}
+
+TEST(Circuit, ConditionedOn)
+{
+    Circuit qc(2, 1);
+    qc.measure(0, 0);
+    qc.x(1).conditionedOn(0, 1);
+    const Instruction &inst = qc.instructions().back();
+    EXPECT_TRUE(inst.isConditional());
+    EXPECT_EQ(inst.condBit, 0);
+    EXPECT_EQ(inst.condValue, 1);
+}
+
+TEST(Circuit, AppendOtherCircuit)
+{
+    Circuit a(2, 0);
+    a.h(0);
+    Circuit b(2, 0);
+    b.cx(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Circuit, ToStringContainsTags)
+{
+    Circuit qc(2, 0);
+    qc.x(0);
+    qc.instructions()[0].tag = InstTag::DD;
+    EXPECT_NE(qc.toString().find("[dd]"), std::string::npos);
+}
+
+TEST(Circuit, PauliByIndex)
+{
+    Circuit qc(1, 0);
+    qc.pauli(0, 1).pauli(0, 2).pauli(0, 3).pauli(0, 0);
+    EXPECT_EQ(qc.instructions()[0].op, Op::X);
+    EXPECT_EQ(qc.instructions()[1].op, Op::Y);
+    EXPECT_EQ(qc.instructions()[2].op, Op::Z);
+    EXPECT_EQ(qc.instructions()[3].op, Op::I);
+}
+
+TEST(CircuitDeath, RejectsOutOfRangeQubit)
+{
+    Circuit qc(2, 0);
+    EXPECT_DEATH(qc.x(5), "out of range");
+}
+
+TEST(CircuitDeath, RejectsDuplicateTwoQubitOperands)
+{
+    Circuit qc(2, 0);
+    EXPECT_DEATH(qc.cx(1, 1), "identical");
+}
+
+TEST(Instruction, DelayDurationAccessor)
+{
+    Instruction d(Op::Delay, {0}, {250.0});
+    EXPECT_DOUBLE_EQ(d.delayDuration(), 250.0);
+    EXPECT_TRUE(d.actsOn(0));
+    EXPECT_FALSE(d.actsOn(1));
+}
+
+} // namespace
+} // namespace casq

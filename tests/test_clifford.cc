@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "circuit/unitary.hh"
+#include "pauli/clifford.hh"
+
+namespace casq {
+namespace {
+
+TEST(Clifford, CxIsClifford)
+{
+    const Conjugation2Q table(gateUnitary(Op::CX));
+    EXPECT_TRUE(table.isClifford());
+    EXPECT_EQ(table.twirlSet().size(), 16u);
+}
+
+TEST(Clifford, EcrIsClifford)
+{
+    const Conjugation2Q table(gateUnitary(Op::ECR));
+    EXPECT_TRUE(table.isClifford());
+}
+
+TEST(Clifford, CzAndSwapAreClifford)
+{
+    EXPECT_TRUE(Conjugation2Q(gateUnitary(Op::CZ)).isClifford());
+    EXPECT_TRUE(Conjugation2Q(gateUnitary(Op::Swap)).isClifford());
+}
+
+TEST(Clifford, CxConjugationRules)
+{
+    // CX with control = qubit 0: Z_c -> Z_c, X_c -> X_c X_t,
+    // X_t -> X_t, Z_t -> Z_c Z_t.
+    const Conjugation2Q table(gateUnitary(Op::CX));
+
+    auto conj = [&](PauliOp op0, PauliOp op1) {
+        const auto image = table.conjugate(Pauli2{op0, op1});
+        EXPECT_TRUE(image.has_value());
+        return *image;
+    };
+
+    // Z on control stays put.
+    SignedPauli2 r = conj(PauliOp::Z, PauliOp::I);
+    EXPECT_EQ(r.pauli, (Pauli2{PauliOp::Z, PauliOp::I}));
+    EXPECT_EQ(r.sign, 1);
+
+    // X on control spreads to the target.
+    r = conj(PauliOp::X, PauliOp::I);
+    EXPECT_EQ(r.pauli, (Pauli2{PauliOp::X, PauliOp::X}));
+
+    // Z on target spreads to the control.
+    r = conj(PauliOp::I, PauliOp::Z);
+    EXPECT_EQ(r.pauli, (Pauli2{PauliOp::Z, PauliOp::Z}));
+
+    // ZZ collapses to Z on the target.
+    r = conj(PauliOp::Z, PauliOp::Z);
+    EXPECT_EQ(r.pauli, (Pauli2{PauliOp::I, PauliOp::Z}));
+}
+
+TEST(Clifford, ConjugationMatchesMatrices)
+{
+    for (Op op : {Op::CX, Op::ECR, Op::CZ}) {
+        const CMat u = gateUnitary(op);
+        const Conjugation2Q table(u);
+        for (const Pauli2 &p : allPauli2()) {
+            const auto image = table.conjugate(p);
+            ASSERT_TRUE(image.has_value());
+            const CMat lhs = u * pauli2Matrix(p) * u.dagger();
+            const CMat rhs = pauli2Matrix(image->pauli) *
+                             Complex(double(image->sign), 0.0);
+            EXPECT_TRUE(lhs.approxEqual(rhs, 1e-9))
+                << opName(op) << " on " << int(p.op0) << ","
+                << int(p.op1);
+        }
+    }
+}
+
+TEST(Clifford, NonCliffordCanHasRestrictedTwirlSet)
+{
+    // A generic Heisenberg canonical block is not Clifford; its
+    // twirl set is the commutant {II, XX, YY, ZZ}.
+    const Conjugation2Q table(
+        gateUnitary(Op::Can, {0.3, 0.25, 0.2}));
+    EXPECT_FALSE(table.isClifford());
+    const auto &set = table.twirlSet();
+    EXPECT_EQ(set.size(), 4u);
+    for (const auto &p : set)
+        EXPECT_EQ(p.op0, p.op1);
+}
+
+TEST(Clifford, RzzTwirlSetContainsZTypePaulis)
+{
+    const Conjugation2Q table(gateUnitary(Op::RZZ, {0.37}));
+    // rzz commutes with II, ZI, IZ, ZZ and anticommutes-compatibly
+    // with XX, YY, XY, YX: the twirl set has at least 8 entries.
+    EXPECT_GE(table.twirlSet().size(), 8u);
+    const auto image =
+        table.conjugate(Pauli2{PauliOp::Z, PauliOp::I});
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->pauli, (Pauli2{PauliOp::Z, PauliOp::I}));
+}
+
+TEST(Clifford, IdentityAlwaysInTwirlSet)
+{
+    const Conjugation2Q table(
+        gateUnitary(Op::Can, {0.1, 0.9, 0.4}));
+    const auto image =
+        table.conjugate(Pauli2{PauliOp::I, PauliOp::I});
+    ASSERT_TRUE(image.has_value());
+    EXPECT_EQ(image->sign, 1);
+    EXPECT_EQ(image->pauli, (Pauli2{PauliOp::I, PauliOp::I}));
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "passes/coloring.hh"
+#include "passes/walsh.hh"
+
+namespace casq {
+namespace {
+
+CrosstalkGraph
+lineGraph(std::size_t n)
+{
+    CrosstalkGraph graph(n);
+    for (std::uint32_t q = 0; q + 1 < n; ++q)
+        graph.addEdge(CrosstalkEdge{QubitPair(q, q + 1), 0.06,
+                                    false});
+    return graph;
+}
+
+TEST(Coloring, PreferenceOrderMinimizesPulses)
+{
+    const auto order = colorPreferenceOrder(7);
+    ASSERT_FALSE(order.empty());
+    // The first candidates must be two-pulse rows; row 1 (four
+    // pulses at 4 slots) must come after rows 2 and 3.
+    EXPECT_EQ(walshPulseCount(order[0]), 2u);
+    std::size_t pos1 = 0, pos2 = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == 1)
+            pos1 = i;
+        if (order[i] == 2)
+            pos2 = i;
+    }
+    EXPECT_LT(pos2, pos1);
+}
+
+TEST(Coloring, AdjacentIdleQubitsGetDistinctColors)
+{
+    const CrosstalkGraph graph = lineGraph(4);
+    ColoringProblem problem;
+    problem.idleQubits = {0, 1, 2, 3};
+    const auto colors = greedyColor(problem, graph);
+    ASSERT_EQ(colors.size(), 4u);
+    for (std::uint32_t q = 0; q + 1 < 4; ++q)
+        EXPECT_NE(colors.at(q), colors.at(q + 1));
+}
+
+TEST(Coloring, PinnedNeighborsConstrain)
+{
+    // Qubit 1 is an active control (pinned colour 2): idle
+    // neighbours 0 and 2 must avoid colour 2.
+    const CrosstalkGraph graph = lineGraph(3);
+    ColoringProblem problem;
+    problem.idleQubits = {0, 2};
+    problem.pinned[1] = kControlColor;
+    const auto colors = greedyColor(problem, graph);
+    EXPECT_NE(colors.at(0), kControlColor);
+    EXPECT_NE(colors.at(2), kControlColor);
+}
+
+TEST(Coloring, TargetPinnedConstrains)
+{
+    const CrosstalkGraph graph = lineGraph(3);
+    ColoringProblem problem;
+    problem.idleQubits = {0};
+    problem.pinned[1] = kTargetColor;
+    const auto colors = greedyColor(problem, graph);
+    EXPECT_NE(colors.at(0), kTargetColor);
+}
+
+TEST(Coloring, TriangleNeedsThreeColors)
+{
+    // An NNN collision edge closes a triangle: three mutually
+    // coupled idle qubits need three distinct Walsh rows (the
+    // paper's "3 or more colors even when the qubit graph is
+    // bipartite").
+    CrosstalkGraph graph(3);
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 1), 0.06, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(1, 2), 0.06, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 2), 0.01, true});
+    ColoringProblem problem;
+    problem.idleQubits = {0, 1, 2};
+    const auto colors = greedyColor(problem, graph);
+    EXPECT_NE(colors.at(0), colors.at(1));
+    EXPECT_NE(colors.at(1), colors.at(2));
+    EXPECT_NE(colors.at(0), colors.at(2));
+}
+
+TEST(Coloring, DeterministicOutput)
+{
+    const CrosstalkGraph graph = lineGraph(6);
+    ColoringProblem problem;
+    problem.idleQubits = {0, 1, 2, 3, 4, 5};
+    problem.pinned[2] = kControlColor;
+    const auto a = greedyColor(problem, graph);
+    const auto b = greedyColor(problem, graph);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Coloring, IsolatedQubitGetsCheapestRow)
+{
+    CrosstalkGraph graph(1);
+    ColoringProblem problem;
+    problem.idleQubits = {0};
+    const auto colors = greedyColor(problem, graph);
+    EXPECT_EQ(colors.at(0), colorPreferenceOrder(15).front());
+}
+
+TEST(ColoringDeath, ExhaustedColorsPanics)
+{
+    // A 3-clique with maxColor = 2 cannot be coloured.
+    CrosstalkGraph graph(3);
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 1), 0.06, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(1, 2), 0.06, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 2), 0.06, false});
+    ColoringProblem problem;
+    problem.idleQubits = {0, 1, 2};
+    problem.maxColor = 2;
+    EXPECT_DEATH(greedyColor(problem, graph), "Walsh colours");
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "device/crosstalk.hh"
+
+namespace casq {
+namespace {
+
+TEST(Crosstalk, AddAndQueryEdges)
+{
+    CrosstalkGraph graph(4);
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 1), 0.06, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(1, 2), 0.08, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 2), 0.01, true});
+
+    EXPECT_TRUE(graph.connected(0, 1));
+    EXPECT_TRUE(graph.connected(2, 0));
+    EXPECT_FALSE(graph.connected(0, 3));
+    EXPECT_DOUBLE_EQ(graph.zzRate(1, 2), 0.08);
+    EXPECT_DOUBLE_EQ(graph.zzRate(0, 3), 0.0);
+    EXPECT_EQ(graph.neighbors(0).size(), 2u);
+    EXPECT_EQ(graph.edges().size(), 3u);
+}
+
+TEST(Crosstalk, DuplicateEdgesIgnored)
+{
+    CrosstalkGraph graph(3);
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 1), 0.05, false});
+    graph.addEdge(CrosstalkEdge{QubitPair(1, 0), 0.07, false});
+    EXPECT_EQ(graph.edges().size(), 1u);
+    EXPECT_DOUBLE_EQ(graph.zzRate(0, 1), 0.05);
+}
+
+TEST(Crosstalk, NnnFlagPreserved)
+{
+    CrosstalkGraph graph(3);
+    graph.addEdge(CrosstalkEdge{QubitPair(0, 2), 0.01, true});
+    EXPECT_TRUE(graph.edges()[0].nextNearest);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "experiments/layer_fidelity.hh"
+
+namespace casq {
+namespace {
+
+Backend
+smallBackend()
+{
+    Backend backend = makeFakeLinear(4, 5);
+    return backend;
+}
+
+TEST(LayerFidelity, PartitionUnitsDisjoint)
+{
+    const Backend backend = smallBackend();
+    LayerSpec spec;
+    spec.gates = {{0, 1}};
+    spec.idles = {2, 3};
+    const auto units = partitionUnits(spec, backend);
+    // One gate pair + one coupled idle pair.
+    ASSERT_EQ(units.size(), 2u);
+    EXPECT_TRUE(units[0].isGate);
+    EXPECT_FALSE(units[1].isGate);
+    EXPECT_EQ(units[1].qubits.size(), 2u);
+
+    std::set<std::uint32_t> seen;
+    for (const auto &u : units)
+        for (auto q : u.qubits) {
+            EXPECT_FALSE(seen.count(q));
+            seen.insert(q);
+        }
+}
+
+TEST(LayerFidelity, SingleIdleUnit)
+{
+    const Backend backend = smallBackend();
+    LayerSpec spec;
+    spec.gates = {{1, 2}};
+    spec.idles = {0, 3}; // not coupled to each other
+    const auto units = partitionUnits(spec, backend);
+    ASSERT_EQ(units.size(), 3u);
+    EXPECT_EQ(units[1].qubits.size(), 1u);
+    EXPECT_EQ(units[2].qubits.size(), 1u);
+}
+
+TEST(LayerFidelity, Fig8SpecShape)
+{
+    const LayerSpec spec = fig8LayerSpec();
+    EXPECT_EQ(spec.gates.size(), 3u);
+    EXPECT_EQ(spec.idles.size(), 4u);
+    EXPECT_EQ(fig8Qubits().size(), 10u);
+    // 3 gates x 2 qubits + 4 idles = 10 qubits, all distinct.
+    std::set<std::uint32_t> seen;
+    for (const auto &[c, t] : spec.gates) {
+        seen.insert(c);
+        seen.insert(t);
+    }
+    for (auto q : spec.idles)
+        seen.insert(q);
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(LayerFidelity, NoiselessLayerScoresNearOne)
+{
+    Backend backend = smallBackend();
+    // Zero out all noise.
+    for (std::uint32_t q = 0; q < 4; ++q) {
+        backend.qubit(q).t1Ns = 1e15;
+        backend.qubit(q).t2Ns = 1e15;
+        backend.qubit(q).gateError1q = 0.0;
+        backend.qubit(q).quasiStaticSigmaMHz = 0.0;
+        backend.qubit(q).readoutError = 0.0;
+    }
+    for (const auto &edge : backend.coupling().edges()) {
+        backend.pair(edge.a, edge.b).zzRateMHz = 0.0;
+        backend.pair(edge.a, edge.b).starkShiftMHz = 0.0;
+        backend.pair(edge.a, edge.b).gateError2q = 0.0;
+    }
+    LayerSpec spec;
+    spec.gates = {{1, 2}};
+    spec.idles = {0, 3};
+
+    CompileOptions compile;
+    compile.twirl = true;
+    LayerFidelityOptions options;
+    options.depths = {1, 2, 4};
+    options.pauliSamples = 3;
+    options.twirlInstances = 2;
+    ExecutionOptions exec;
+    exec.trajectories = 8;
+    const LayerFidelityResult result = measureLayerFidelity(
+        spec, backend, NoiseModel::ideal(), compile, options, exec);
+    EXPECT_GT(result.layerFidelity, 0.999);
+    EXPECT_NEAR(result.gamma, 1.0, 0.01);
+}
+
+TEST(LayerFidelity, NoisyLayerBelowOneAndGammaConsistent)
+{
+    const Backend backend = smallBackend();
+    LayerSpec spec;
+    spec.gates = {{1, 2}};
+    spec.idles = {0, 3};
+
+    CompileOptions compile;
+    compile.twirl = true;
+    LayerFidelityOptions options;
+    options.depths = {1, 2, 4, 8};
+    options.pauliSamples = 3;
+    options.twirlInstances = 4;
+    ExecutionOptions exec;
+    exec.trajectories = 48;
+    const LayerFidelityResult result = measureLayerFidelity(
+        spec, backend, NoiseModel::standard(), compile, options,
+        exec);
+    EXPECT_LT(result.layerFidelity, 1.0);
+    EXPECT_GT(result.layerFidelity, 0.25);
+    EXPECT_NEAR(result.gamma,
+                1.0 / (result.layerFidelity *
+                       result.layerFidelity),
+                1e-9);
+    EXPECT_EQ(result.unitFidelities.size(), result.units.size());
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace casq {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    casq_assert(1 + 1 == 2, "arithmetic holds");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(casq_panic("boom"), "boom");
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(casq_assert(false, "must fail"), "must fail");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(casq_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace casq

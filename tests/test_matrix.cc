@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.hh"
+
+namespace casq {
+namespace {
+
+TEST(Matrix, IdentityConstruction)
+{
+    const CMat id = CMat::identity(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(id(i, j), (i == j ? Complex{1} : Complex{}));
+}
+
+TEST(Matrix, InitializerListShape)
+{
+    const CMat m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(1, 2), Complex(6));
+}
+
+TEST(Matrix, MultiplyBasic)
+{
+    const CMat a{{1, 2}, {3, 4}};
+    const CMat b{{0, 1}, {1, 0}};
+    const CMat c = a * b;
+    EXPECT_EQ(c(0, 0), Complex(2));
+    EXPECT_EQ(c(0, 1), Complex(1));
+    EXPECT_EQ(c(1, 0), Complex(4));
+    EXPECT_EQ(c(1, 1), Complex(3));
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop)
+{
+    const CMat a{{Complex(1, 2), Complex(0, -1)},
+                 {Complex(3, 0), Complex(-2, 1)}};
+    EXPECT_TRUE((a * CMat::identity(2)).approxEqual(a));
+    EXPECT_TRUE((CMat::identity(2) * a).approxEqual(a));
+}
+
+TEST(Matrix, AdditionSubtraction)
+{
+    const CMat a{{1, 2}, {3, 4}};
+    const CMat b{{4, 3}, {2, 1}};
+    const CMat sum = a + b;
+    const CMat diff = sum - b;
+    EXPECT_TRUE(diff.approxEqual(a));
+    EXPECT_EQ(sum(0, 0), Complex(5));
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes)
+{
+    const CMat a{{Complex(1, 2), Complex(3, -4)},
+                 {Complex(0, 1), Complex(5, 0)}};
+    const CMat d = a.dagger();
+    EXPECT_EQ(d(0, 1), Complex(0, -1));
+    EXPECT_EQ(d(1, 0), Complex(3, 4));
+}
+
+TEST(Matrix, KroneckerDimensionsAndValues)
+{
+    const CMat a{{1, 0}, {0, 2}};
+    const CMat b{{0, 1}, {1, 0}};
+    const CMat k = kron(a, b);
+    EXPECT_EQ(k.rows(), 4u);
+    EXPECT_EQ(k(0, 1), Complex(1));
+    EXPECT_EQ(k(3, 2), Complex(2));
+    EXPECT_EQ(k(0, 3), Complex(0));
+}
+
+TEST(Matrix, TraceOfProductOrderInvariant)
+{
+    const CMat a{{Complex(1, 1), 2}, {3, Complex(0, -2)}};
+    const CMat b{{0, Complex(2, 1)}, {1, 4}};
+    const Complex t1 = (a * b).trace();
+    const Complex t2 = (b * a).trace();
+    EXPECT_NEAR(std::abs(t1 - t2), 0.0, 1e-12);
+}
+
+TEST(Matrix, UnitaryDetection)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    const CMat h{{s, s}, {s, -s}};
+    EXPECT_TRUE(h.isUnitary());
+    const CMat not_unitary{{1, 1}, {0, 1}};
+    EXPECT_FALSE(not_unitary.isUnitary());
+}
+
+TEST(Matrix, EqualUpToGlobalPhase)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    const CMat h{{s, s}, {s, -s}};
+    const Complex phase = std::exp(Complex(0, 0.7));
+    EXPECT_TRUE((h * phase).equalUpToGlobalPhase(h));
+    EXPECT_FALSE((h * Complex(2, 0)).equalUpToGlobalPhase(h));
+    const CMat x{{0, 1}, {1, 0}};
+    EXPECT_FALSE(x.equalUpToGlobalPhase(h));
+}
+
+TEST(Matrix, DiagonalFactory)
+{
+    const CMat d = CMat::diagonal({1.0, Complex(0, 1)});
+    EXPECT_EQ(d(0, 0), Complex(1));
+    EXPECT_EQ(d(1, 1), Complex(0, 1));
+    EXPECT_EQ(d(0, 1), Complex(0));
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    const CMat a{{1, 0}, {0, 1}};
+    const CMat b{{1, 0}, {0, Complex(1, 0.25)}};
+    EXPECT_NEAR(a.maxAbsDiff(b), 0.25, 1e-12);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,56 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "experiments/mitigation.hh"
+
+namespace casq {
+namespace {
+
+TEST(Mitigation, RecoversKnownDecay)
+{
+    std::vector<double> depths, ideal, noisy;
+    for (int d = 1; d <= 6; ++d) {
+        depths.push_back(d);
+        const double id = std::cos(0.5 * d);
+        ideal.push_back(id);
+        noisy.push_back(0.92 * std::pow(0.8, d) * id);
+    }
+    const OverheadEstimate est =
+        estimateMitigationOverhead(depths, noisy, ideal, 5.0);
+    EXPECT_NEAR(est.lambda, 0.8, 0.01);
+    EXPECT_NEAR(est.amplitude, 0.92, 0.02);
+    const double scale = 0.92 * std::pow(0.8, 5.0);
+    EXPECT_NEAR(est.overhead, 1.0 / (scale * scale),
+                est.overhead * 0.05);
+}
+
+TEST(Mitigation, BetterSignalLowerOverhead)
+{
+    std::vector<double> depths, ideal, good, bad;
+    for (int d = 1; d <= 6; ++d) {
+        depths.push_back(d);
+        ideal.push_back(1.0);
+        good.push_back(std::pow(0.95, d));
+        bad.push_back(std::pow(0.7, d));
+    }
+    const OverheadEstimate g =
+        estimateMitigationOverhead(depths, good, ideal, 6.0);
+    const OverheadEstimate b =
+        estimateMitigationOverhead(depths, bad, ideal, 6.0);
+    EXPECT_LT(g.overhead, b.overhead);
+    EXPECT_GT(b.overhead / g.overhead, 10.0);
+}
+
+TEST(Mitigation, PerfectSignalUnitOverhead)
+{
+    std::vector<double> depths{1, 2, 3, 4};
+    std::vector<double> ideal{0.5, -0.3, 0.8, 0.1};
+    const OverheadEstimate est =
+        estimateMitigationOverhead(depths, ideal, ideal, 4.0);
+    EXPECT_NEAR(est.lambda, 1.0, 1e-3);
+    EXPECT_NEAR(est.overhead, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "experiments/ramsey.hh"
+#include "passes/pipeline.hh"
+
+namespace casq {
+namespace {
+
+Backend
+testBackend()
+{
+    Backend backend = makeFakeLinear(4, 1);
+    return backend;
+}
+
+TEST(Pipeline, StrategyNames)
+{
+    EXPECT_EQ(strategyName(Strategy::None), "none");
+    EXPECT_EQ(strategyName(Strategy::Ec), "ca-ec");
+    EXPECT_EQ(strategyName(Strategy::CaDd), "ca-dd");
+    EXPECT_EQ(strategyName(Strategy::Combined), "ca-ec+dd");
+}
+
+TEST(Pipeline, EnsembleSizeRespectsTwirlFlag)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit =
+        buildCaseSpectator(4, 1, 2, 2, {0});
+    CompileOptions opts;
+    opts.twirl = true;
+    EXPECT_EQ(compileEnsemble(circuit, backend, opts, 5, 1).size(),
+              5u);
+    opts.twirl = false;
+    EXPECT_EQ(compileEnsemble(circuit, backend, opts, 5, 1).size(),
+              1u);
+}
+
+TEST(Pipeline, CaDdStrategyInsertsPulses)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit =
+        buildCaseIdleIdle(4, 1, 2, 4, 500.0);
+    CompileOptions opts;
+    opts.strategy = Strategy::CaDd;
+    opts.twirl = false;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, opts, rng);
+    std::size_t dd = 0;
+    for (const auto &t : sched.instructions())
+        dd += t.inst.tag == InstTag::DD;
+    EXPECT_GE(dd, 4u);
+    EXPECT_EQ(sched.findOverlap(), -1);
+}
+
+TEST(Pipeline, EcStrategyInsertsCompensation)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit =
+        buildCaseIdleIdle(4, 1, 2, 4, 500.0);
+    CompileOptions opts;
+    opts.strategy = Strategy::Ec;
+    opts.twirl = false;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, opts, rng);
+    std::size_t comp = 0;
+    for (const auto &t : sched.instructions())
+        comp += t.inst.tag == InstTag::Compensation;
+    EXPECT_GE(comp, 2u);
+}
+
+TEST(Pipeline, NoneStrategyLeavesCircuitBare)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit =
+        buildCaseSpectator(4, 1, 2, 3, {0});
+    CompileOptions opts;
+    opts.strategy = Strategy::None;
+    opts.twirl = false;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, opts, rng);
+    for (const auto &t : sched.instructions()) {
+        EXPECT_EQ(t.inst.tag, InstTag::None);
+    }
+}
+
+TEST(Pipeline, CombinedStrategyHasBothTags)
+{
+    const Backend backend = testBackend();
+    // Control-control context: EC must add compensation; idle
+    // spectators give CA-DD pulses.
+    LayeredCircuit circuit = buildCaseControlControl(4, 1, 0, 2, 3,
+                                                     3);
+    CompileOptions opts;
+    opts.strategy = Strategy::Combined;
+    opts.twirl = false;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, opts, rng);
+    bool has_comp = false;
+    for (const auto &t : sched.instructions())
+        has_comp |= t.inst.tag == InstTag::Compensation;
+    EXPECT_TRUE(has_comp);
+    EXPECT_EQ(sched.findOverlap(), -1);
+}
+
+TEST(Pipeline, TwirledInstancesShareLogicalAction)
+{
+    // All twirled instances of a Clifford circuit agree on ideal
+    // expectation values (checked through the executor).
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit =
+        buildCaseSpectator(4, 1, 2, 2, {0});
+    CompileOptions opts;
+    opts.strategy = Strategy::None;
+    opts.twirl = true;
+    const auto ensemble =
+        compileEnsemble(circuit, backend, opts, 6, 3);
+    const Executor executor(backend, NoiseModel::ideal());
+    ExecutionOptions eopts;
+    eopts.trajectories = 1;
+    const PauliString obs =
+        PauliString::single(4, 0, PauliOp::X);
+    double first = 0.0;
+    for (std::size_t k = 0; k < ensemble.size(); ++k) {
+        const double value =
+            executor.run(ensemble[k], {obs}, eopts).means[0];
+        if (k == 0)
+            first = value;
+        else
+            EXPECT_NEAR(value, first, 1e-9);
+    }
+}
+
+TEST(Pipeline, LowerToNativeProducesNativeOps)
+{
+    const Backend backend = testBackend();
+    LayeredCircuit circuit(4, 0);
+    Layer layer{LayerKind::TwoQubit, {}};
+    layer.insts.emplace_back(Op::Can,
+                             std::vector<std::uint32_t>{1, 2},
+                             std::vector<double>{0.3, 0.2, 0.1});
+    circuit.addLayer(std::move(layer));
+    CompileOptions opts;
+    opts.twirl = false;
+    opts.lowerToNative = true;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, opts, rng);
+    for (const auto &t : sched.instructions())
+        EXPECT_NE(t.inst.op, Op::Can);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace casq {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(3);
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[rng.uniformInt(5)];
+    for (int c : counts)
+        EXPECT_GT(c, 700);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, RandomSignBalanced)
+{
+    Rng rng(23);
+    int total = 0;
+    for (int i = 0; i < 10000; ++i)
+        total += rng.randomSign();
+    EXPECT_LT(std::abs(total), 400);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(29);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent)
+{
+    const Rng base(99);
+    Rng a = base.derive(0);
+    Rng b = base.derive(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+
+    // Deriving the same stream twice yields identical sequences.
+    Rng c = base.derive(5);
+    Rng d = base.derive(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(c.next(), d.next());
+}
+
+} // namespace
+} // namespace casq

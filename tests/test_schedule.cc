@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "circuit/schedule.hh"
+
+namespace casq {
+namespace {
+
+TEST(Schedule, GateDurationsDispatch)
+{
+    GateDurations durations;
+    EXPECT_DOUBLE_EQ(durations.of(Instruction(Op::SX, {0})),
+                     durations.oneQubit);
+    EXPECT_DOUBLE_EQ(durations.of(Instruction(Op::ECR, {0, 1})),
+                     durations.twoQubit);
+    EXPECT_DOUBLE_EQ(durations.of(Instruction(Op::RZ, {0}, {1.0})),
+                     0.0);
+    EXPECT_DOUBLE_EQ(
+        durations.of(Instruction(Op::Delay, {0}, {250.0})), 250.0);
+    Instruction meas(Op::Measure, {0});
+    meas.cbit = 0;
+    EXPECT_DOUBLE_EQ(durations.of(meas), durations.measure);
+}
+
+TEST(Schedule, RzzPulseStretching)
+{
+    GateDurations durations;
+    const double half_pi = 1.5707963267948966;
+    const double full =
+        durations.of(Instruction(Op::RZZ, {0, 1}, {half_pi}));
+    EXPECT_DOUBLE_EQ(full, durations.rzzFull);
+    const double half =
+        durations.of(Instruction(Op::RZZ, {0, 1}, {half_pi / 2}));
+    EXPECT_DOUBLE_EQ(half, durations.rzzFull / 2);
+    // Tiny angles hit the floor; angles wrap modulo 2 pi.
+    const double tiny =
+        durations.of(Instruction(Op::RZZ, {0, 1}, {1e-4}));
+    EXPECT_DOUBLE_EQ(tiny, durations.rzzMin);
+    const double wrapped = durations.of(
+        Instruction(Op::RZZ, {0, 1}, {half_pi + 4 * half_pi}));
+    EXPECT_NEAR(wrapped, durations.rzzFull, 1e-9);
+}
+
+TEST(Schedule, AsapSequencing)
+{
+    GateDurations durations;
+    Circuit qc(2, 0);
+    qc.sx(0).ecr(0, 1).sx(1);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    const auto &insts = sched.instructions();
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_DOUBLE_EQ(insts[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(insts[1].start, durations.oneQubit);
+    EXPECT_DOUBLE_EQ(insts[2].start,
+                     durations.oneQubit + durations.twoQubit);
+    EXPECT_DOUBLE_EQ(sched.totalDuration(),
+                     durations.oneQubit + durations.twoQubit +
+                         durations.oneQubit);
+}
+
+TEST(Schedule, VirtualGatesTakeNoTime)
+{
+    GateDurations durations;
+    Circuit qc(1, 0);
+    qc.rz(0, 0.3).sx(0).rz(0, 0.7);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    EXPECT_DOUBLE_EQ(sched.totalDuration(), durations.oneQubit);
+}
+
+TEST(Schedule, BarrierSynchronizes)
+{
+    GateDurations durations;
+    Circuit qc(2, 0);
+    qc.sx(0).barrier().sx(1);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    // The second sx starts after the barrier sync point.
+    EXPECT_DOUBLE_EQ(sched.instructions().back().start,
+                     durations.oneQubit);
+}
+
+TEST(Schedule, ConditionalWaitsForFeedforward)
+{
+    GateDurations durations;
+    Circuit qc(2, 1);
+    qc.measure(0, 0);
+    qc.x(1).conditionedOn(0, 1);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    const auto &cond = sched.instructions().back();
+    EXPECT_TRUE(cond.inst.isConditional());
+    EXPECT_DOUBLE_EQ(cond.start,
+                     durations.measure + durations.feedforward);
+}
+
+TEST(Schedule, IdleWindowsIncludeLeadingAndTrailing)
+{
+    GateDurations durations;
+    Circuit qc(2, 0);
+    qc.sx(0).ecr(0, 1);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    // Qubit 1 idles during the first sx on qubit 0.
+    const auto windows = sched.idleWindows(10.0);
+    bool found = false;
+    for (const auto &w : windows) {
+        if (w.qubit == 1 && w.start == 0.0 &&
+            std::abs(w.end - durations.oneQubit) < 1e-9) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Schedule, DelaysCountAsIdle)
+{
+    GateDurations durations;
+    Circuit qc(1, 0);
+    qc.sx(0).delay(0, 600.0).sx(0);
+    const ScheduledCircuit sched = scheduleASAP(qc, durations);
+    const auto windows = sched.idleWindows(100.0);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_NEAR(windows[0].duration(), 600.0, 1e-9);
+}
+
+TEST(Schedule, FindOverlapDetectsCollisions)
+{
+    GateDurations durations;
+    Circuit qc(2, 0);
+    qc.sx(0).sx(1);
+    ScheduledCircuit sched = scheduleASAP(qc, durations);
+    EXPECT_EQ(sched.findOverlap(), -1);
+    // Force an overlapping insertion on qubit 0.
+    sched.add(TimedInstruction{Instruction(Op::X, {0}), 10.0, 35.0});
+    EXPECT_EQ(sched.findOverlap(), 0);
+}
+
+TEST(Schedule, SortByStartIsStable)
+{
+    ScheduledCircuit sched(2, 0);
+    sched.add(TimedInstruction{Instruction(Op::X, {0}), 100.0, 35.0});
+    sched.add(TimedInstruction{Instruction(Op::Y, {1}), 0.0, 35.0});
+    sched.sortByStart();
+    EXPECT_EQ(sched.instructions()[0].inst.op, Op::Y);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/unitary.hh"
+#include "sim/statevector.hh"
+
+namespace casq {
+namespace {
+
+TEST(Statevector, InitialState)
+{
+    Statevector sv(3);
+    EXPECT_EQ(sv.size(), 8u);
+    EXPECT_EQ(sv.amplitudes()[0], Complex(1));
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition)
+{
+    Statevector sv(1);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]),
+                1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(sv.probabilityOne(0), 0.5, 1e-12);
+}
+
+TEST(Statevector, BellStateViaCx)
+{
+    Statevector sv(2);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    sv.applyGate2q(gateUnitary(Op::CX), 0, 1);
+    EXPECT_NEAR(std::norm(sv.amplitudes()[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amplitudes()[3]), 0.5, 1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString::fromLabel("XX")), 1.0,
+                1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString::fromLabel("YY")), -1.0,
+                1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString::fromLabel("ZZ")), 1.0,
+                1e-12);
+    EXPECT_NEAR(sv.expectation(PauliString::fromLabel("ZI")), 0.0,
+                1e-12);
+}
+
+TEST(Statevector, RzPhaseOnPlusState)
+{
+    Statevector sv(1);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    sv.applyRz(0, 0.7);
+    EXPECT_NEAR(sv.expectation(
+                    PauliString::single(1, 0, PauliOp::X)),
+                std::cos(0.7), 1e-12);
+    EXPECT_NEAR(sv.expectation(
+                    PauliString::single(1, 0, PauliOp::Y)),
+                std::sin(0.7), 1e-12);
+}
+
+TEST(Statevector, RzzMatchesGateMatrix)
+{
+    Statevector a(2), b(2);
+    for (Statevector *sv : {&a, &b}) {
+        sv->applyGate1q(gateUnitary(Op::H), 0);
+        sv->applyGate1q(gateUnitary(Op::H), 1);
+    }
+    a.applyRzz(0, 1, 0.9);
+    b.applyGate2q(gateUnitary(Op::RZZ, {0.9}), 0, 1);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]),
+                    0.0, 1e-12);
+}
+
+TEST(Statevector, FusedPhasesMatchSequential)
+{
+    Statevector a(3), b(3);
+    for (Statevector *sv : {&a, &b})
+        for (std::uint32_t q = 0; q < 3; ++q)
+            sv->applyGate1q(gateUnitary(Op::H), q);
+
+    a.applyPhases({QubitAngle{0, 0.3}, QubitAngle{2, -0.5}},
+                  {PairAngle{0, 1, 0.7}, PairAngle{1, 2, 0.2}});
+    b.applyRz(0, 0.3);
+    b.applyRz(2, -0.5);
+    b.applyRzz(0, 1, 0.7);
+    b.applyRzz(1, 2, 0.2);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]),
+                    0.0, 1e-12);
+}
+
+TEST(Statevector, ApplyPauliMatchesMatrix)
+{
+    for (const char *label : {"XI", "IY", "ZZ", "XY", "YZ"}) {
+        Statevector a(2), b(2);
+        for (Statevector *sv : {&a, &b}) {
+            sv->applyGate1q(gateUnitary(Op::H), 0);
+            sv->applyGate1q(gateUnitary(Op::SX), 1);
+        }
+        const PauliString p = PauliString::fromLabel(label);
+        a.applyPauli(p);
+        b.applyGate2q(
+            [&] {
+                CMat m(4, 4);
+                const CMat full = p.matrix();
+                for (std::size_t i = 0; i < 4; ++i)
+                    for (std::size_t j = 0; j < 4; ++j)
+                        m(i, j) = full(i, j);
+                return m;
+            }(),
+            0, 1);
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_NEAR(
+                std::abs(a.amplitudes()[i] - b.amplitudes()[i]),
+                0.0, 1e-12)
+                << label;
+    }
+}
+
+TEST(Statevector, MeasureCollapses)
+{
+    Rng rng(5);
+    Statevector sv(2);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    sv.applyGate2q(gateUnitary(Op::CX), 0, 1);
+    const int outcome = sv.measure(0, rng);
+    // After collapse both qubits agree.
+    EXPECT_NEAR(sv.probabilityOne(1), double(outcome), 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasurementStatistics)
+{
+    Rng rng(11);
+    int ones = 0;
+    const int shots = 2000;
+    for (int s = 0; s < shots; ++s) {
+        Statevector sv(1);
+        sv.applyGate1q(gateUnitary(Op::H), 0);
+        ones += sv.measure(0, rng);
+    }
+    EXPECT_NEAR(ones / double(shots), 0.5, 0.05);
+}
+
+TEST(Statevector, CollapseDeterministic)
+{
+    Statevector sv(1);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    sv.collapse(0, 1);
+    EXPECT_NEAR(sv.probabilityOne(0), 1.0, 1e-12);
+}
+
+TEST(Statevector, ProbabilityOfOutcome)
+{
+    Statevector sv(2);
+    sv.applyGate1q(gateUnitary(Op::H), 0);
+    sv.applyGate2q(gateUnitary(Op::CX), 0, 1);
+    EXPECT_NEAR(sv.probabilityOfOutcome({0, 1}, {0, 0}), 0.5,
+                1e-12);
+    EXPECT_NEAR(sv.probabilityOfOutcome({0, 1}, {1, 0}), 0.0,
+                1e-12);
+}
+
+TEST(Statevector, AmplitudeDampDecaysExcitedState)
+{
+    // Average over many trajectories: P(1) ~ exp(-t/T1).
+    Rng rng(17);
+    const double tau = 100.0, t1 = 300.0;
+    const int shots = 4000;
+    double p1 = 0.0;
+    for (int s = 0; s < shots; ++s) {
+        Statevector sv(1);
+        sv.applyGate1q(gateUnitary(Op::X), 0);
+        sv.amplitudeDamp(0, tau, t1, rng);
+        p1 += sv.probabilityOne(0);
+    }
+    EXPECT_NEAR(p1 / shots, std::exp(-tau / t1), 0.03);
+}
+
+TEST(Statevector, AmplitudeDampPreservesGroundState)
+{
+    Rng rng(19);
+    Statevector sv(1);
+    sv.amplitudeDamp(0, 1000.0, 100.0, rng);
+    EXPECT_NEAR(sv.probabilityOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, OverlapOfIdenticalStatesIsOne)
+{
+    Statevector a(2), b(2);
+    for (Statevector *sv : {&a, &b}) {
+        sv->applyGate1q(gateUnitary(Op::H), 0);
+        sv->applyGate2q(gateUnitary(Op::CX), 0, 1);
+    }
+    EXPECT_NEAR(std::abs(a.overlap(b)), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace casq

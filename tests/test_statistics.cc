@@ -1,0 +1,98 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.hh"
+
+namespace casq {
+namespace {
+
+TEST(Statistics, SummarizeBasic)
+{
+    const SummaryStat s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Statistics, SummarizeEmptyAndSingle)
+{
+    EXPECT_EQ(summarize({}).count, 0u);
+    const SummaryStat s = summarize({3.0});
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Statistics, LinearFitExact)
+{
+    const LineFit fit =
+        linearFit({0, 1, 2, 3}, {1.0, 3.0, 5.0, 7.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(Statistics, ExpDecayFitRecoversParameters)
+{
+    const double A = 0.9, lambda = 0.8;
+    std::vector<double> xs, ys;
+    for (int d = 0; d <= 10; ++d) {
+        xs.push_back(d);
+        ys.push_back(A * std::pow(lambda, d));
+    }
+    const DecayFit fit = fitExpDecay(xs, ys);
+    EXPECT_NEAR(fit.amplitude, A, 1e-6);
+    EXPECT_NEAR(fit.lambda, lambda, 1e-6);
+}
+
+TEST(Statistics, ExpDecayFitClipsNonPositive)
+{
+    const DecayFit fit =
+        fitExpDecay({0, 1, 2}, {1.0, 0.5, -0.1});
+    EXPECT_GT(fit.lambda, 0.0);
+    EXPECT_LT(fit.lambda, 1.0);
+}
+
+TEST(Statistics, ScaledDecayFitRecoversParameters)
+{
+    const double A = 0.95, lambda = 0.85;
+    std::vector<double> depths, ideal, noisy;
+    for (int d = 1; d <= 8; ++d) {
+        depths.push_back(d);
+        const double id = std::cos(0.4 * d);
+        ideal.push_back(id);
+        noisy.push_back(A * std::pow(lambda, d) * id);
+    }
+    const DecayFit fit = fitScaledDecay(depths, noisy, ideal);
+    EXPECT_NEAR(fit.lambda, lambda, 1e-3);
+    EXPECT_NEAR(fit.amplitude, A, 1e-2);
+}
+
+TEST(Statistics, ScaledDecayFitNoisyTolerant)
+{
+    std::vector<double> depths, ideal, noisy;
+    for (int d = 1; d <= 8; ++d) {
+        depths.push_back(d);
+        const double id = (d % 2) ? 1.0 : -1.0;
+        ideal.push_back(id);
+        noisy.push_back(0.9 * std::pow(0.7, d) * id +
+                        0.01 * ((d % 3) - 1));
+    }
+    const DecayFit fit = fitScaledDecay(depths, noisy, ideal);
+    EXPECT_NEAR(fit.lambda, 0.7, 0.05);
+}
+
+TEST(Statistics, SamplingOverheadGrowsWithDepth)
+{
+    DecayFit fit;
+    fit.amplitude = 1.0;
+    fit.lambda = 0.9;
+    const double o1 = samplingOverhead(fit, 1.0);
+    const double o10 = samplingOverhead(fit, 10.0);
+    EXPECT_NEAR(o1, 1.0 / (0.9 * 0.9), 1e-9);
+    EXPECT_GT(o10, o1);
+    // Overhead is exponential in depth: ratio = lambda^-18.
+    EXPECT_NEAR(o10 / o1, std::pow(0.9, -18.0), 1e-6);
+}
+
+} // namespace
+} // namespace casq

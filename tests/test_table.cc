@@ -1,0 +1,49 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace casq {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows)
+{
+    Table table({"name", "value"});
+    table.addRow({"alpha", "1.0"});
+    table.addRow({"beta", "2.5"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, PrintFigureAlignsSeries)
+{
+    std::ostringstream os;
+    printFigure(os, "demo", "d", {1, 2, 3},
+                {Series{"a", {0.1, 0.2, 0.3}},
+                 Series{"b", {1.0, 0.9, 0.8}}});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("0.2000"), std::string::npos);
+    EXPECT_NE(text.find("0.8000"), std::string::npos);
+}
+
+TEST(Table, BannerFormat)
+{
+    std::ostringstream os;
+    printBanner(os, "hello");
+    EXPECT_EQ(os.str(), "== hello ==\n");
+}
+
+} // namespace
+} // namespace casq

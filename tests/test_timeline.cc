@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.hh"
+
+namespace casq {
+namespace {
+
+GateDurations
+durations()
+{
+    return GateDurations{};
+}
+
+TEST(Timeline, EcrQuarterSegments)
+{
+    Circuit qc(2, 0);
+    qc.ecr(0, 1);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    // One ECR of 500 ns splits into 4 segments of 125 ns.
+    ASSERT_EQ(timeline.segments().size(), 4u);
+    for (const auto &seg : timeline.segments())
+        EXPECT_NEAR(seg.duration(), 125.0, 1e-9);
+}
+
+TEST(Timeline, ControlEchoFrameSigns)
+{
+    Circuit qc(2, 0);
+    qc.ecr(0, 1);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    const auto &segs = timeline.segments();
+    // Control (qubit 0): +, +, -, -; target (qubit 1): +, -, +, -.
+    const int expect_ctrl[] = {1, 1, -1, -1};
+    const int expect_tgt[] = {1, -1, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(segs[k].qubits[0].frameSign, expect_ctrl[k]);
+        EXPECT_EQ(segs[k].qubits[1].frameSign, expect_tgt[k]);
+        EXPECT_EQ(segs[k].qubits[0].role, Role::Control);
+        EXPECT_EQ(segs[k].qubits[1].role, Role::Target);
+        EXPECT_TRUE(segs[k].qubits[0].driven);
+    }
+}
+
+TEST(Timeline, IdleQubitDefaults)
+{
+    Circuit qc(3, 0);
+    qc.ecr(0, 1);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    for (const auto &seg : timeline.segments()) {
+        EXPECT_EQ(seg.qubits[2].role, Role::Idle);
+        EXPECT_EQ(seg.qubits[2].frameSign, 1);
+        EXPECT_FALSE(seg.qubits[2].driven);
+        EXPECT_EQ(seg.qubits[2].instIndex, -1);
+    }
+}
+
+TEST(Timeline, SameGateSharesInstIndex)
+{
+    Circuit qc(2, 0);
+    qc.ecr(0, 1);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    const auto &seg = timeline.segments()[0];
+    EXPECT_GE(seg.qubits[0].instIndex, 0);
+    EXPECT_EQ(seg.qubits[0].instIndex, seg.qubits[1].instIndex);
+}
+
+TEST(Timeline, MeasurementRole)
+{
+    Circuit qc(1, 1);
+    qc.measure(0, 0);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    ASSERT_FALSE(timeline.segments().empty());
+    EXPECT_EQ(timeline.segments()[0].qubits[0].role,
+              Role::Measuring);
+    EXPECT_FALSE(timeline.segments()[0].qubits[0].driven);
+}
+
+TEST(Timeline, VirtualGateFiresBeforeLaterGates)
+{
+    Circuit qc(1, 0);
+    qc.rz(0, 0.5).sx(0);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    std::vector<Op> fire_order;
+    for (const auto &event : timeline.events()) {
+        if (event.kind == TimelineEvent::Kind::Fire) {
+            fire_order.push_back(timeline.circuit()
+                                     .instructions()[event.index]
+                                     .inst.op);
+        }
+    }
+    ASSERT_EQ(fire_order.size(), 2u);
+    EXPECT_EQ(fire_order[0], Op::RZ);
+    EXPECT_EQ(fire_order[1], Op::SX);
+}
+
+TEST(Timeline, GateFiresAfterItsSegments)
+{
+    Circuit qc(1, 0);
+    qc.sx(0).sx(0);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    // Events: segment(gate 1 window), fire 1, segment, fire 2.
+    const auto &events = timeline.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].kind, TimelineEvent::Kind::Segment);
+    EXPECT_EQ(events[1].kind, TimelineEvent::Kind::Fire);
+    EXPECT_EQ(events[2].kind, TimelineEvent::Kind::Segment);
+    EXPECT_EQ(events[3].kind, TimelineEvent::Kind::Fire);
+}
+
+TEST(Timeline, DelayCreatesIdleSegmentsOnly)
+{
+    Circuit qc(1, 0);
+    qc.delay(0, 300.0);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    ASSERT_EQ(timeline.segments().size(), 1u);
+    EXPECT_EQ(timeline.segments()[0].qubits[0].role, Role::Idle);
+    // Delays never fire.
+    for (const auto &event : timeline.events())
+        EXPECT_EQ(event.kind, TimelineEvent::Kind::Segment);
+}
+
+TEST(Timeline, EchoedOpClassification)
+{
+    EXPECT_TRUE(isEchoedTwoQubitOp(Op::ECR));
+    EXPECT_TRUE(isEchoedTwoQubitOp(Op::CX));
+    EXPECT_TRUE(isEchoedTwoQubitOp(Op::RZZ));
+    EXPECT_TRUE(isEchoedTwoQubitOp(Op::Can));
+    EXPECT_FALSE(isEchoedTwoQubitOp(Op::X));
+    EXPECT_FALSE(isEchoedTwoQubitOp(Op::Measure));
+}
+
+TEST(Timeline, ParallelGatesShareSegmentBoundaries)
+{
+    Circuit qc(4, 0);
+    qc.ecr(0, 1).ecr(2, 3);
+    const Timeline timeline(scheduleASAP(qc, durations()));
+    // Both gates start at 0 with equal duration: still 4 segments.
+    EXPECT_EQ(timeline.segments().size(), 4u);
+    const auto &seg = timeline.segments()[2];
+    EXPECT_EQ(seg.qubits[0].frameSign, -1);
+    EXPECT_EQ(seg.qubits[2].frameSign, -1);
+}
+
+} // namespace
+} // namespace casq

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "device/topology.hh"
+
+namespace casq {
+namespace {
+
+TEST(Topology, QubitPairNormalizesOrder)
+{
+    const QubitPair p(5, 2);
+    EXPECT_EQ(p.a, 2u);
+    EXPECT_EQ(p.b, 5u);
+    EXPECT_TRUE(p.contains(5));
+    EXPECT_EQ(p.other(2), 5u);
+    EXPECT_EQ(QubitPair(2, 5), p);
+}
+
+TEST(Topology, LinearChain)
+{
+    const CouplingMap map = makeLinear(5);
+    EXPECT_EQ(map.numQubits(), 5u);
+    EXPECT_EQ(map.edges().size(), 4u);
+    EXPECT_TRUE(map.hasEdge(1, 2));
+    EXPECT_FALSE(map.hasEdge(0, 2));
+    EXPECT_EQ(map.neighbors(0).size(), 1u);
+    EXPECT_EQ(map.neighbors(2).size(), 2u);
+}
+
+TEST(Topology, Ring)
+{
+    const CouplingMap map = makeRing(12);
+    EXPECT_EQ(map.edges().size(), 12u);
+    EXPECT_TRUE(map.hasEdge(11, 0));
+    EXPECT_EQ(map.maxDegree(), 2u);
+}
+
+TEST(Topology, Grid)
+{
+    const CouplingMap map = makeGrid(3, 4);
+    EXPECT_EQ(map.numQubits(), 12u);
+    EXPECT_EQ(map.edges().size(), 3u * 3u + 2u * 4u);
+    EXPECT_TRUE(map.hasEdge(0, 4));
+    EXPECT_TRUE(map.hasEdge(5, 6));
+    EXPECT_FALSE(map.hasEdge(3, 4));
+}
+
+TEST(Topology, DistanceTwo)
+{
+    const CouplingMap map = makeLinear(4);
+    EXPECT_TRUE(map.atDistanceTwo(0, 2));
+    EXPECT_FALSE(map.atDistanceTwo(0, 1));
+    EXPECT_FALSE(map.atDistanceTwo(0, 3));
+    EXPECT_FALSE(map.atDistanceTwo(1, 1));
+}
+
+TEST(Topology, HeavyHexMatchesEagleIndexing)
+{
+    const CouplingMap map = makeHeavyHex127();
+    EXPECT_EQ(map.numQubits(), 127u);
+    // Known IBM Eagle couplings: bridge 14 connects 0 and 18;
+    // bridge 33 connects 20 and 39; bridge 52 connects 37 and 56.
+    EXPECT_TRUE(map.hasEdge(14, 0));
+    EXPECT_TRUE(map.hasEdge(14, 18));
+    EXPECT_TRUE(map.hasEdge(33, 20));
+    EXPECT_TRUE(map.hasEdge(33, 39));
+    EXPECT_TRUE(map.hasEdge(52, 37));
+    EXPECT_TRUE(map.hasEdge(52, 56));
+    // Row couplings around the Fig. 8 region.
+    EXPECT_TRUE(map.hasEdge(37, 38));
+    EXPECT_TRUE(map.hasEdge(38, 39));
+    EXPECT_TRUE(map.hasEdge(39, 40));
+    EXPECT_TRUE(map.hasEdge(56, 57));
+    EXPECT_TRUE(map.hasEdge(59, 60));
+}
+
+TEST(Topology, HeavyHexDegreeBound)
+{
+    const CouplingMap map = makeHeavyHex127();
+    EXPECT_LE(map.maxDegree(), 3u);
+    std::size_t degree_sum = 0;
+    for (std::uint32_t q = 0; q < 127; ++q)
+        degree_sum += map.neighbors(q).size();
+    EXPECT_EQ(degree_sum, 2 * map.edges().size());
+}
+
+TEST(TopologyDeath, EdgeOutOfRange)
+{
+    CouplingMap map(3);
+    EXPECT_DEATH(map.addEdge(0, 3), "out of range");
+}
+
+} // namespace
+} // namespace casq

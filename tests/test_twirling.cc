@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "circuit/unitary.hh"
+#include "passes/twirling.hh"
+
+namespace casq {
+namespace {
+
+LayeredCircuit
+sampleLayered()
+{
+    Circuit qc(4, 0);
+    qc.h(0).h(2).barrier();
+    qc.ecr(0, 1).ecr(2, 3).barrier();
+    qc.x(1).sx(3).barrier();
+    qc.cx(1, 2);
+    return stratify(qc);
+}
+
+TEST(Twirling, PreservesLogicalUnitary)
+{
+    const LayeredCircuit base = sampleLayered();
+    const CMat expect = circuitUnitary(base.flatten());
+    Rng rng(2024);
+    for (int trial = 0; trial < 10; ++trial) {
+        const LayeredCircuit twirled = pauliTwirl(base, rng);
+        const CMat got = circuitUnitary(twirled.flatten());
+        EXPECT_TRUE(got.equalUpToGlobalPhase(expect, 1e-8))
+            << "trial " << trial;
+    }
+}
+
+TEST(Twirling, InsertsTaggedPauliLayers)
+{
+    const LayeredCircuit base = sampleLayered();
+    Rng rng(7);
+    bool found_twirl_gate = false;
+    for (int trial = 0; trial < 20 && !found_twirl_gate; ++trial) {
+        const LayeredCircuit twirled = pauliTwirl(base, rng);
+        EXPECT_GE(twirled.layers().size(), base.layers().size());
+        for (const auto &layer : twirled.layers())
+            for (const auto &inst : layer.insts)
+                if (inst.tag == InstTag::Twirl) {
+                    found_twirl_gate = true;
+                    EXPECT_TRUE(opIsPauli(inst.op));
+                }
+    }
+    EXPECT_TRUE(found_twirl_gate);
+}
+
+TEST(Twirling, TwoQubitGateCountUnchanged)
+{
+    const LayeredCircuit base = sampleLayered();
+    Rng rng(99);
+    const LayeredCircuit twirled = pauliTwirl(base, rng);
+    EXPECT_EQ(twirled.countTwoQubitGates(),
+              base.countTwoQubitGates());
+}
+
+TEST(Twirling, HeisenbergBlockUsesCommutantTwirls)
+{
+    // Non-Clifford can gates may only be twirled by {II, XX, YY,
+    // ZZ}: both inserted Paulis must match on the two qubits.
+    Circuit qc(2, 0);
+    qc.can(0, 1, 0.3, 0.25, 0.2);
+    const LayeredCircuit base = stratify(qc);
+    const CMat expect = circuitUnitary(base.flatten());
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        const LayeredCircuit twirled = pauliTwirl(base, rng);
+        for (const auto &layer : twirled.layers()) {
+            if (layer.kind != LayerKind::OneQubit)
+                continue;
+            // The twirl layer contains either zero or two gates
+            // with identical Pauli type.
+            if (layer.insts.size() == 2) {
+                EXPECT_EQ(layer.insts[0].op, layer.insts[1].op);
+            } else {
+                EXPECT_TRUE(layer.insts.empty() ||
+                            layer.insts.size() == 2u);
+            }
+        }
+        EXPECT_TRUE(circuitUnitary(twirled.flatten())
+                        .equalUpToGlobalPhase(expect, 1e-8));
+    }
+}
+
+TEST(Twirling, DifferentSeedsGiveDifferentTwirls)
+{
+    const LayeredCircuit base = sampleLayered();
+    Rng rng1(1), rng2(2);
+    const Circuit a = pauliTwirl(base, rng1).flatten();
+    const Circuit b = pauliTwirl(base, rng2).flatten();
+    EXPECT_NE(a.toString(), b.toString());
+}
+
+TEST(Twirling, CacheReusesTables)
+{
+    TwirlTableCache cache;
+    const Instruction ecr(Op::ECR, {0, 1});
+    const Conjugation2Q &a = cache.tableFor(ecr);
+    const Conjugation2Q &b = cache.tableFor(ecr);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Twirling, NonGateLayersUntouched)
+{
+    Circuit qc(2, 1);
+    qc.h(0).measure(0, 0);
+    const LayeredCircuit base = stratify(qc);
+    Rng rng(3);
+    const LayeredCircuit twirled = pauliTwirl(base, rng);
+    EXPECT_EQ(twirled.layers().size(), base.layers().size());
+}
+
+} // namespace
+} // namespace casq

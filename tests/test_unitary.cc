@@ -1,0 +1,201 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/unitary.hh"
+#include "common/rng.hh"
+
+namespace casq {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+CMat
+randomSu2(Rng &rng)
+{
+    return gateUnitary(Op::RZ, {rng.uniform(-kPi, kPi)}) *
+           gateUnitary(Op::RY, {rng.uniform(-kPi, kPi)}) *
+           gateUnitary(Op::RZ, {rng.uniform(-kPi, kPi)});
+}
+
+TEST(Unitary, AllGatesAreUnitary)
+{
+    for (Op op : {Op::I, Op::X, Op::Y, Op::Z, Op::H, Op::S, Op::Sdg,
+                  Op::SX, Op::SXdg, Op::T, Op::Tdg, Op::CX, Op::CZ,
+                  Op::ECR, Op::Swap}) {
+        EXPECT_TRUE(gateUnitary(op).isUnitary()) << opName(op);
+    }
+    EXPECT_TRUE(gateUnitary(Op::RZ, {0.3}).isUnitary());
+    EXPECT_TRUE(gateUnitary(Op::RZZ, {0.7}).isUnitary());
+    EXPECT_TRUE(gateUnitary(Op::U, {0.2, 0.4, 0.9}).isUnitary());
+    EXPECT_TRUE(
+        gateUnitary(Op::Can, {0.1, 0.5, -0.3}).isUnitary());
+}
+
+TEST(Unitary, SxSquaresToX)
+{
+    const CMat sx = gateUnitary(Op::SX);
+    EXPECT_TRUE((sx * sx).equalUpToGlobalPhase(gateUnitary(Op::X)));
+    const CMat sxdg = gateUnitary(Op::SXdg);
+    EXPECT_TRUE((sx * sxdg).approxEqual(CMat::identity(2), 1e-12));
+}
+
+TEST(Unitary, EcrIsInvolutionAndEntangling)
+{
+    const CMat ecr = gateUnitary(Op::ECR);
+    EXPECT_TRUE(
+        (ecr * ecr).equalUpToGlobalPhase(CMat::identity(4)));
+    EXPECT_FALSE(factorTensorProduct(ecr).has_value());
+}
+
+TEST(Unitary, RzzDiagonalForm)
+{
+    const CMat rzz = gateUnitary(Op::RZZ, {0.8});
+    EXPECT_NEAR(std::arg(rzz(0, 0)), -0.4, 1e-12);
+    EXPECT_NEAR(std::arg(rzz(1, 1)), 0.4, 1e-12);
+    EXPECT_NEAR(std::arg(rzz(3, 3)), -0.4, 1e-12);
+}
+
+TEST(Unitary, CanAtCliffordPointMatchesConstruction)
+{
+    // can(0,0,gamma) must equal exp(i gamma ZZ).
+    const double gamma = 0.37;
+    const CMat can = gateUnitary(Op::Can, {0.0, 0.0, gamma});
+    const CMat rzz = gateUnitary(Op::RZZ, {-2.0 * gamma});
+    EXPECT_TRUE(can.equalUpToGlobalPhase(rzz, 1e-9));
+}
+
+TEST(Unitary, EulerDecomposeRoundTrip)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const CMat u = randomSu2(rng);
+        const EulerAngles e = eulerDecompose(u);
+        const CMat rebuilt =
+            gateUnitary(Op::U, {e.theta, e.phi, e.lambda});
+        EXPECT_TRUE(u.equalUpToGlobalPhase(rebuilt, 1e-8))
+            << "trial " << trial;
+    }
+}
+
+TEST(Unitary, EulerDecomposeDiagonalEdgeCase)
+{
+    const CMat rz = gateUnitary(Op::RZ, {1.1});
+    const EulerAngles e = eulerDecompose(rz);
+    EXPECT_NEAR(e.theta, 0.0, 1e-9);
+    const CMat rebuilt =
+        gateUnitary(Op::U, {e.theta, e.phi, e.lambda});
+    EXPECT_TRUE(rz.equalUpToGlobalPhase(rebuilt, 1e-9));
+}
+
+TEST(Unitary, EulerDecomposeAntiDiagonalEdgeCase)
+{
+    const CMat x = gateUnitary(Op::X);
+    const EulerAngles e = eulerDecompose(x);
+    EXPECT_NEAR(e.theta, kPi, 1e-9);
+    const CMat rebuilt =
+        gateUnitary(Op::U, {e.theta, e.phi, e.lambda});
+    EXPECT_TRUE(x.equalUpToGlobalPhase(rebuilt, 1e-9));
+}
+
+TEST(Unitary, AppendU1qMatchesU)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 30; ++trial) {
+        const double theta = rng.uniform(0, kPi);
+        const double phi = rng.uniform(-kPi, kPi);
+        const double lam = rng.uniform(-kPi, kPi);
+        Circuit qc(1, 0);
+        appendU1q(qc, 0, theta, phi, lam);
+        const CMat expect = gateUnitary(Op::U, {theta, phi, lam});
+        EXPECT_TRUE(
+            circuitUnitary(qc).equalUpToGlobalPhase(expect, 1e-8))
+            << "trial " << trial;
+    }
+}
+
+TEST(Unitary, AppendU1qHalfPiUsesSingleSx)
+{
+    Circuit qc(1, 0);
+    appendU1q(qc, 0, kPi / 2.0, 0.3, -0.8);
+    EXPECT_EQ(qc.countOps(Op::SX), 1u);
+    const CMat expect = gateUnitary(Op::U, {kPi / 2.0, 0.3, -0.8});
+    EXPECT_TRUE(
+        circuitUnitary(qc).equalUpToGlobalPhase(expect, 1e-8));
+}
+
+TEST(Unitary, FactorTensorProduct)
+{
+    Rng rng(5);
+    const CMat a = randomSu2(rng);
+    const CMat b = randomSu2(rng);
+    const auto factored = factorTensorProduct(kron(a, b));
+    ASSERT_TRUE(factored.has_value());
+    EXPECT_TRUE(kron(factored->first, factored->second)
+                    .approxEqual(kron(a, b), 1e-8));
+    EXPECT_FALSE(
+        factorTensorProduct(gateUnitary(Op::CX)).has_value());
+}
+
+TEST(Unitary, SynthesizeCanMatchesExponential)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        const double c = rng.uniform(-1.0, 1.0);
+        const Circuit qc = synthesizeCan(a, b, c);
+        const CMat expect = gateUnitary(Op::Can, {a, b, c});
+        EXPECT_TRUE(
+            circuitUnitary(qc).equalUpToGlobalPhase(expect, 1e-8))
+            << "can(" << a << ", " << b << ", " << c << ")";
+        EXPECT_LE(qc.countOps(Op::CX), 4u);
+    }
+}
+
+TEST(Unitary, CircuitUnitaryOfBellPreparation)
+{
+    Circuit qc(2, 0);
+    qc.h(0).cx(0, 1);
+    const CMat u = circuitUnitary(qc);
+    // |00> -> (|00> + |11>)/sqrt(2).
+    EXPECT_NEAR(std::abs(u(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(u(3, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(u(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Unitary, TranspilePreservesUnitary)
+{
+    Rng rng(57);
+    Circuit qc(3, 0);
+    qc.h(0).y(1).s(2).rx(0, 0.7).ry(1, -0.4).cz(1, 2).swap(0, 1);
+    qc.can(1, 2, 0.3, 0.2, 0.1).rzz(0, 1, 0.5);
+    const Circuit native = transpileToNative(qc);
+    for (const auto &inst : native.instructions()) {
+        const bool ok = inst.op == Op::RZ || inst.op == Op::SX ||
+                        inst.op == Op::X || inst.op == Op::CX ||
+                        inst.op == Op::ECR || inst.op == Op::RZZ ||
+                        inst.op == Op::Barrier;
+        EXPECT_TRUE(ok) << opName(inst.op);
+    }
+    EXPECT_TRUE(circuitUnitary(native).equalUpToGlobalPhase(
+        circuitUnitary(qc), 1e-7));
+}
+
+TEST(Unitary, TranspileKeepsMeasureAndConditions)
+{
+    Circuit qc(2, 1);
+    qc.h(0).measure(0, 0);
+    qc.x(1).conditionedOn(0, 1);
+    const Circuit native = transpileToNative(qc);
+    bool has_measure = false, has_cond = false;
+    for (const auto &inst : native.instructions()) {
+        has_measure |= inst.op == Op::Measure;
+        has_cond |= inst.isConditional();
+    }
+    EXPECT_TRUE(has_measure);
+    EXPECT_TRUE(has_cond);
+}
+
+} // namespace
+} // namespace casq
