@@ -11,7 +11,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+
+#include "passes/pipeline.hh"
 
 namespace casq::bench {
 
@@ -22,11 +25,22 @@ struct BenchConfig
     int twirlInstances = 8;   //!< twirled circuit variants
     std::uint64_t seed = 2024;
     double scale = 1.0;       //!< workload scale (depth sweeps)
+
+    /** When set, benches skip every other strategy's curves. */
+    std::optional<Strategy> onlyStrategy;
+
+    /** True when the strategy's curve should be computed. */
+    bool
+    wantsStrategy(Strategy strategy) const
+    {
+        return !onlyStrategy || *onlyStrategy == strategy;
+    }
 };
 
 /**
- * Parse --traj N, --twirls N, --seed N, --scale X flags plus the
- * CASQ_TRAJ environment variable (lowest precedence).
+ * Parse --traj N, --twirls N, --seed N, --scale X, and
+ * --strategy NAME flags plus the CASQ_TRAJ environment variable
+ * (lowest precedence).
  */
 inline BenchConfig
 parseArgs(int argc, char **argv)
@@ -48,6 +62,16 @@ parseArgs(int argc, char **argv)
             config.seed = std::strtoull(v, nullptr, 10);
         else if (const char *v = next("--scale"))
             config.scale = std::atof(v);
+        else if (const char *v = next("--strategy")) {
+            config.onlyStrategy = strategyFromName(v);
+            if (!config.onlyStrategy) {
+                std::cerr << "unknown strategy '" << v << "'; known:";
+                for (Strategy s : allStrategies())
+                    std::cerr << " " << strategyName(s);
+                std::cerr << "\n";
+                std::exit(1);
+            }
+        }
     }
     return config;
 }
@@ -57,6 +81,58 @@ inline void
 paperReference(const std::string &text)
 {
     std::cout << "paper reference: " << text << "\n\n";
+}
+
+/**
+ * True when at least one of the bench's curves passes the
+ * --strategy filter; otherwise prints a notice so the bench does
+ * not silently emit an empty figure.
+ */
+inline bool
+anyStrategyMatches(const BenchConfig &config,
+                   const std::vector<Strategy> &curves)
+{
+    for (Strategy strategy : curves)
+        if (config.wantsStrategy(strategy))
+            return true;
+    std::cout << "(--strategy "
+              << strategyName(*config.onlyStrategy)
+              << " matches no curve of this bench)\n";
+    return false;
+}
+
+/**
+ * Alternating two-qubit / single-qubit layers on a chain of n
+ * qubits: ECR gates on a parity-staggered quarter of the couplers,
+ * then either an SX layer (gate-dense workloads) or a delay layer
+ * (idle-context workloads) on every qubit.  Shared by perf_passes
+ * and the casq_compile CLI so both exercise the same shape.
+ */
+inline LayeredCircuit
+syntheticChainWorkload(std::size_t n, int depth, bool idle_layers,
+                       double idle_ns = 600.0)
+{
+    LayeredCircuit circuit(n, 0);
+    for (int d = 0; d < depth; ++d) {
+        Layer gates{LayerKind::TwoQubit, {}};
+        const std::uint32_t offset = (d % 2) ? 1 : 0;
+        for (std::uint32_t q = offset; q + 1 < n; q += 4)
+            gates.insts.emplace_back(
+                Op::ECR, std::vector<std::uint32_t>{q, q + 1});
+        circuit.addLayer(std::move(gates));
+        Layer ones{LayerKind::OneQubit, {}};
+        for (std::uint32_t q = 0; q < n; ++q) {
+            if (idle_layers)
+                ones.insts.emplace_back(
+                    Op::Delay, std::vector<std::uint32_t>{q},
+                    std::vector<double>{idle_ns});
+            else
+                ones.insts.emplace_back(
+                    Op::SX, std::vector<std::uint32_t>{q});
+        }
+        circuit.addLayer(std::move(ones));
+    }
+    return circuit;
 }
 
 } // namespace casq::bench

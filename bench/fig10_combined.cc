@@ -42,18 +42,26 @@ main(int argc, char **argv)
         {"ca-dd", Strategy::CaDd},
         {"ca-ec+dd", Strategy::Combined}};
 
+    std::vector<Strategy> available;
+    for (const auto &curve : curves)
+        available.push_back(curve.second);
+    bench::anyStrategyMatches(config, available);
+
     const Executor executor(backend, NoiseModel::standard());
     std::vector<Series> series;
     for (const auto &[name, strategy] : curves) {
+        if (!config.wantsStrategy(strategy))
+            continue;
         Series s;
         s.name = name;
+        CompileOptions compile;
+        compile.strategy = strategy;
+        compile.twirl = true;
+        PassManager pipeline = buildPipeline(compile);
         for (int d : depths) {
             const LayeredCircuit circuit = buildFloquetIdentity(d);
-            CompileOptions compile;
-            compile.strategy = strategy;
-            compile.twirl = true;
             const auto ensemble = compileEnsemble(
-                circuit, backend, compile, config.twirlInstances,
+                circuit, backend, pipeline, config.twirlInstances,
                 config.seed + 13 * d);
             ExecutionOptions exec;
             exec.trajectories = config.trajectories;

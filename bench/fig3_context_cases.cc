@@ -37,8 +37,15 @@ sweep(const ContextBuilder &builder,
       const std::vector<int> &depths,
       const bench::BenchConfig &config)
 {
+    std::vector<Strategy> available;
+    for (const auto &curve : curves)
+        available.push_back(curve.strategy);
+    bench::anyStrategyMatches(config, available);
+
     std::vector<Series> series;
     for (const auto &curve : curves) {
+        if (!config.wantsStrategy(curve.strategy))
+            continue;
         CompileOptions compile;
         compile.strategy = curve.strategy;
         compile.twirl = false;

@@ -150,7 +150,14 @@ figure4c(const bench::BenchConfig &config)
         {"aligned", Strategy::DdAligned},
         {"staggered", Strategy::DdStaggered},
         {"walsh (ca-dd)", Strategy::CaDd}};
+    std::vector<Strategy> available;
+    for (const auto &curve : curves)
+        available.push_back(curve.second);
+    bench::anyStrategyMatches(config, available);
+
     for (const auto &[name, strategy] : curves) {
+        if (!config.wantsStrategy(strategy))
+            continue;
         CompileOptions compile;
         compile.strategy = strategy;
         compile.twirl = false;

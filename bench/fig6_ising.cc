@@ -51,8 +51,15 @@ main(int argc, char **argv)
     }
     series.push_back(std::move(ideal));
 
+    std::vector<Strategy> available;
+    for (const auto &curve : curves)
+        available.push_back(curve.second);
+    bench::anyStrategyMatches(config, available);
+
     const Executor executor(backend, NoiseModel::standard());
     for (const auto &[name, strategy] : curves) {
+        if (!config.wantsStrategy(strategy))
+            continue;
         Series s;
         s.name = name;
         for (int d : depths) {

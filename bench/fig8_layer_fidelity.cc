@@ -54,8 +54,15 @@ main(int argc, char **argv)
                 "nazca layer");
     Table table({"strategy", "LF (measured)", "LF (paper)",
                  "gamma=LF^-2", "gamma (paper)"});
+    std::vector<Strategy> available;
+    for (const auto &curve : curves)
+        available.push_back(curve.second);
+    bench::anyStrategyMatches(config, available);
+
     std::vector<double> gammas;
     for (std::size_t k = 0; k < curves.size(); ++k) {
+        if (!config.wantsStrategy(curves[k].second))
+            continue;
         CompileOptions compile;
         compile.strategy = curves[k].second;
         compile.twirl = true;
@@ -71,6 +78,14 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
     std::cout << "\n";
+
+    // The overhead ratios compare strategies pairwise, so they only
+    // make sense when every curve was measured.
+    if (gammas.size() < curves.size()) {
+        std::cout << "(--strategy filter active: skipping the "
+                     "cross-strategy overhead ratios)\n";
+        return 0;
+    }
 
     printBanner(std::cout,
                 "sampling-overhead ratios (single layer and "

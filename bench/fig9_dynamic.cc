@@ -24,6 +24,9 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchConfig config = bench::parseArgs(argc, argv);
+    if (config.onlyStrategy)
+        std::cout << "(--strategy ignored: this bench needs its "
+                     "fixed bare/EC comparison)\n";
 
     Backend backend = makeFakeLinear(3, 99);
     backend.pair(0, 1).zzRateMHz = 0.09;

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "experiments/ramsey.hh"
 #include "passes/pipeline.hh"
 
@@ -15,25 +16,12 @@ using namespace casq;
 
 namespace {
 
-/** Alternating ECR / idle layers on a chain of n qubits. */
+/** Alternating ECR / SX layers on a chain of n qubits. */
 LayeredCircuit
 syntheticWorkload(std::size_t n, int depth)
 {
-    LayeredCircuit circuit(n, 0);
-    for (int d = 0; d < depth; ++d) {
-        Layer gates{LayerKind::TwoQubit, {}};
-        const std::uint32_t offset = (d % 2) ? 1 : 0;
-        for (std::uint32_t q = offset; q + 1 < n; q += 4)
-            gates.insts.emplace_back(
-                Op::ECR, std::vector<std::uint32_t>{q, q + 1});
-        circuit.addLayer(std::move(gates));
-        Layer ones{LayerKind::OneQubit, {}};
-        for (std::uint32_t q = 0; q < n; ++q)
-            ones.insts.emplace_back(Op::SX,
-                                    std::vector<std::uint32_t>{q});
-        circuit.addLayer(std::move(ones));
-    }
-    return circuit;
+    return bench::syntheticChainWorkload(n, depth,
+                                         /*idle_layers=*/false);
 }
 
 Backend
@@ -108,6 +96,49 @@ BM_FullPipelineCompile(benchmark::State &state)
     }
 }
 
+void
+BM_BuildPipeline(benchmark::State &state)
+{
+    CompileOptions options;
+    options.strategy = Strategy::Combined;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildPipeline(options));
+}
+
+void
+BM_PipelineCompileReusedManager(benchmark::State &state)
+{
+    // Same workload as BM_FullPipelineCompile, but the manager (and
+    // thus the twirl conjugation-table cache) persists across
+    // compiles -- the ensemble-compilation hot path.
+    const std::size_t n = 12;
+    const Backend backend = chainBackend(n);
+    const LayeredCircuit circuit =
+        syntheticWorkload(n, int(state.range(0)));
+    CompileOptions options;
+    options.strategy = Strategy::Combined;
+    PassManager pipeline = buildPipeline(options);
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pipeline.compile(circuit, backend, rng));
+    }
+}
+
+void
+BM_CompileEnsemble(benchmark::State &state)
+{
+    const std::size_t n = 12;
+    const Backend backend = chainBackend(n);
+    const LayeredCircuit circuit = syntheticWorkload(n, 16);
+    CompileOptions options;
+    options.strategy = Strategy::Combined;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compileEnsemble(
+            circuit, backend, options, int(state.range(0)), 11));
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_ScheduleAsap)
@@ -135,5 +166,11 @@ BENCHMARK(BM_CaEcPass)
 BENCHMARK(BM_PauliTwirl)->Arg(8)->Arg(16)->Arg(32);
 
 BENCHMARK(BM_FullPipelineCompile)->Arg(8)->Arg(16);
+
+BENCHMARK(BM_BuildPipeline);
+
+BENCHMARK(BM_PipelineCompileReusedManager)->Arg(8)->Arg(16);
+
+BENCHMARK(BM_CompileEnsemble)->Arg(4)->Arg(16);
 
 BENCHMARK_MAIN();

@@ -78,6 +78,9 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchConfig config = bench::parseArgs(argc, argv);
+    if (config.onlyStrategy)
+        std::cout << "(--strategy ignored: the error matrix "
+                     "compares a fixed strategy set)\n";
     Table table({"error", "source", "bare F", "EC", "DD",
                  "paper: EC / DD"});
 

@@ -58,12 +58,15 @@ main()
     for (Strategy strategy :
          {Strategy::None, Strategy::Ec, Strategy::CaDd,
           Strategy::Combined}) {
-        // 4. Compile: twirl + strategy-specific suppression.
+        // 4. Compile: each strategy is a pass pipeline (twirl +
+        //    strategy-specific suppression), built once and reused
+        //    for every twirled instance of the ensemble.
         CompileOptions options;
         options.strategy = strategy;
         options.twirl = true;
+        PassManager pipeline = buildPipeline(options);
         const auto ensemble = compileEnsemble(logical, backend,
-                                              options,
+                                              pipeline,
                                               /*instances=*/8,
                                               /*seed=*/1234);
 
@@ -84,5 +87,19 @@ main()
     std::cout << "\nIdeal value is 1.000 everywhere; context-aware "
                  "suppression keeps the idle period from degrading "
                  "the GHZ round trip.\n";
+
+    // 6. Under the hood: a strategy is just an ordered pass list.
+    //    Compile one instance through the PassManager directly to
+    //    see the passes and what each one cost.
+    PassManager pipeline = buildPipeline(Strategy::Combined);
+    Rng rng(1234);
+    const CompilationResult result =
+        pipeline.compile(logical, backend, rng);
+    std::cout << "\nca-ec+dd pipeline:";
+    for (const auto &metric : result.metrics)
+        std::cout << "  " << metric.name;
+    std::cout << "\ncompile time: " << result.totalMillis()
+              << " ms, " << result.scheduled.instructions().size()
+              << " scheduled instructions\n";
     return 0;
 }

@@ -71,6 +71,15 @@ warn(Args &&...args)
         detail::emit("warn: ", detail::format(args...));
 }
 
+/** Developer-level tracing; printed at Debug verbosity. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug: ", detail::format(args...));
+}
+
 } // namespace casq
 
 /** Abort the program because of a user-level error. */

@@ -145,6 +145,9 @@ measureLayerFidelity(const LayerSpec &spec, const Backend &backend,
         partitionUnits(spec, backend);
     const Executor executor(backend, noise);
 
+    // One pipeline reused across every Pauli sample and depth.
+    PassManager pipeline = buildPipeline(compile);
+
     // Base layer (one layered TwoQubit stratum).
     Layer gate_layer{LayerKind::TwoQubit, {}};
     for (const auto &[c, t] : spec.gates)
@@ -185,7 +188,7 @@ measureLayerFidelity(const LayerSpec &spec, const Backend &backend,
             }
 
             const auto ensemble = compileEnsemble(
-                circuit, backend, compile, options.twirlInstances,
+                circuit, backend, pipeline, options.twirlInstances,
                 exec.seed + 13 * r + 131 * depth);
             const RunResult result =
                 executor.run(ensemble, observables, exec);

@@ -49,11 +49,15 @@ runRamsey(const ContextBuilder &builder,
     const std::vector<PauliString> obs =
         plusStateObservables(backend.numQubits(), probes);
 
+    // One pipeline for the whole depth sweep: pass-internal caches
+    // (twirl conjugation tables) are built once and reused.
+    PassManager pipeline = buildPipeline(compile);
+
     std::vector<RamseyPoint> points;
     for (int depth : depths) {
         const LayeredCircuit layered = builder(depth);
         const auto ensemble = compileEnsemble(
-            layered, backend, compile, twirl_instances,
+            layered, backend, pipeline, twirl_instances,
             exec.seed + std::uint64_t(depth) * 977);
         const RunResult result = executor.run(ensemble, obs, exec);
 
@@ -162,8 +166,9 @@ runDetuningScan(const ContextBuilder &builder, std::uint32_t probe,
         PauliString::single(backend.numQubits(), probe, PauliOp::X),
         PauliString::single(backend.numQubits(), probe, PauliOp::Y)};
 
+    PassManager pipeline = buildPipeline(compile);
     const LayeredCircuit layered = builder(depth);
-    const auto ensemble = compileEnsemble(layered, backend, compile,
+    const auto ensemble = compileEnsemble(layered, backend, pipeline,
                                           4, exec.seed);
     const RunResult result = executor.run(ensemble, obs, exec);
     const double x = result.means[0];

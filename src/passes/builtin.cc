@@ -1,0 +1,95 @@
+#include "passes/builtin.hh"
+
+namespace casq {
+
+namespace {
+
+/** Count scheduled instructions carrying the given tag. */
+std::size_t
+countTag(const ScheduledCircuit &schedule, InstTag tag)
+{
+    std::size_t count = 0;
+    for (const TimedInstruction &timed : schedule.instructions())
+        count += timed.inst.tag == tag;
+    return count;
+}
+
+} // namespace
+
+void
+TwirlPass::run(PassContext &context)
+{
+    LayeredCircuit twirled =
+        pauliTwirl(context.layered(), context.rng(), _cache);
+    std::size_t gates = 0;
+    for (const Layer &layer : twirled.layers())
+        for (const Instruction &inst : layer.insts)
+            gates += inst.tag == InstTag::Twirl;
+    context.setProperty(kTwirlGatesKey, gates);
+    context.setLayered(std::move(twirled));
+}
+
+void
+CaEcPass::run(PassContext &context)
+{
+    CaecStats stats;
+    context.setLayered(applyCaEc(context.layered(),
+                                 context.backend(), _options,
+                                 &stats));
+    context.setProperty(kCaecStatsKey, stats);
+}
+
+void
+FlattenPass::run(PassContext &context)
+{
+    context.setFlat(context.layered().flatten());
+}
+
+void
+TranspilePass::run(PassContext &context)
+{
+    context.setFlat(transpileToNative(context.flat(), _options));
+}
+
+void
+SchedulePass::run(PassContext &context)
+{
+    context.setScheduled(scheduleASAP(
+        context.flat(), context.backend().durations()));
+}
+
+void
+IdleAnalysisPass::run(PassContext &context)
+{
+    context.setProperty(
+        kIdleWindowsKey,
+        context.scheduled().idleWindows(_minDuration));
+}
+
+std::string
+UniformDdPass::name() const
+{
+    return _style == UniformDdStyle::Aligned ? "dd-uniform-aligned"
+                                             : "dd-uniform-staggered";
+}
+
+void
+UniformDdPass::run(PassContext &context)
+{
+    context.setScheduled(applyUniformDd(
+        context.scheduled(), context.backend().durations(), _style,
+        _minDuration));
+    context.setProperty(
+        kDdPulsesKey, countTag(context.scheduled(), InstTag::DD));
+}
+
+void
+CaDdPass::run(PassContext &context)
+{
+    context.setScheduled(applyCaDd(context.scheduled(),
+                                   context.backend(), _options));
+    context.setProperty(
+        kDdPulsesKey, countTag(context.scheduled(), InstTag::DD));
+}
+
+} // namespace casq

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Built-in passes wrapping each of the repo's circuit
+ * transformations, so strategy pipelines (and user pipelines) are
+ * assembled from uniform Pass objects instead of hardcoded calls.
+ *
+ * Every pass documents the stage it expects; see docs/passes.md for
+ * the full contract and a worked custom-pass example.  Analysis
+ * results flow between passes through the PassContext property map
+ * under the `k*Key` keys declared here.
+ */
+
+#ifndef CASQ_PASSES_BUILTIN_HH
+#define CASQ_PASSES_BUILTIN_HH
+
+#include "circuit/unitary.hh"
+#include "passes/ca_dd.hh"
+#include "passes/ca_ec.hh"
+#include "passes/pass.hh"
+#include "passes/twirling.hh"
+
+namespace casq {
+
+/** Property: number of twirl gates inserted (std::size_t). */
+inline constexpr const char kTwirlGatesKey[] = "twirl.gates";
+
+/** Property: CA-EC bookkeeping (CaecStats). */
+inline constexpr const char kCaecStatsKey[] = "caec.stats";
+
+/** Property: idle windows found (std::vector<IdleWindow>). */
+inline constexpr const char kIdleWindowsKey[] = "idle.windows";
+
+/** Property: DD pulses inserted (std::size_t). */
+inline constexpr const char kDdPulsesKey[] = "dd.pulses";
+
+/**
+ * Pauli-twirl the two-qubit layers (Layered stage).  The
+ * conjugation-table cache persists across run() calls, so reusing
+ * one manager across an ensemble builds each table once.
+ */
+class TwirlPass : public Pass
+{
+  public:
+    std::string name() const override { return "pauli-twirl"; }
+    void run(PassContext &context) override;
+    bool isStochastic() const override { return true; }
+
+  private:
+    TwirlTableCache _cache;
+};
+
+/** Context-aware error compensation (Layered stage). */
+class CaEcPass : public Pass
+{
+  public:
+    explicit CaEcPass(CaecOptions options = {})
+        : _options(options)
+    {
+    }
+
+    std::string name() const override { return "ca-ec"; }
+    void run(PassContext &context) override;
+
+    const CaecOptions &options() const { return _options; }
+
+  private:
+    CaecOptions _options;
+};
+
+/** Lower Layered -> Flat, re-inserting layer barriers. */
+class FlattenPass : public Pass
+{
+  public:
+    std::string name() const override { return "flatten"; }
+    void run(PassContext &context) override;
+};
+
+/** Lower the flat circuit to the native gate set (Flat stage). */
+class TranspilePass : public Pass
+{
+  public:
+    explicit TranspilePass(TranspileOptions options = {})
+        : _options(options)
+    {
+    }
+
+    std::string name() const override { return "transpile"; }
+    void run(PassContext &context) override;
+
+  private:
+    TranspileOptions _options;
+};
+
+/** Lower Flat -> Scheduled via ASAP scheduling. */
+class SchedulePass : public Pass
+{
+  public:
+    std::string name() const override { return "schedule-asap"; }
+    void run(PassContext &context) override;
+};
+
+/**
+ * Analysis-only pass: publish the schedule's idle windows of at
+ * least `minDuration` under kIdleWindowsKey (Scheduled stage).
+ */
+class IdleAnalysisPass : public Pass
+{
+  public:
+    explicit IdleAnalysisPass(double min_duration = 150.0)
+        : _minDuration(min_duration)
+    {
+    }
+
+    std::string name() const override { return "idle-analysis"; }
+    void run(PassContext &context) override;
+
+  private:
+    double _minDuration;
+};
+
+/** Context-unaware baseline DD (Scheduled stage). */
+class UniformDdPass : public Pass
+{
+  public:
+    UniformDdPass(UniformDdStyle style, double min_duration)
+        : _style(style), _minDuration(min_duration)
+    {
+    }
+
+    std::string name() const override;
+    void run(PassContext &context) override;
+
+  private:
+    UniformDdStyle _style;
+    double _minDuration;
+};
+
+/** Context-aware dynamical decoupling, Algorithm 1 (Scheduled). */
+class CaDdPass : public Pass
+{
+  public:
+    explicit CaDdPass(CaddOptions options = {})
+        : _options(options)
+    {
+    }
+
+    std::string name() const override { return "ca-dd"; }
+    void run(PassContext &context) override;
+
+    const CaddOptions &options() const { return _options; }
+
+  private:
+    CaddOptions _options;
+};
+
+} // namespace casq
+
+#endif // CASQ_PASSES_BUILTIN_HH

@@ -132,13 +132,17 @@ caecActiveOnlyOptions()
     return opts;
 }
 
+namespace {
+
 /**
  * Implementation object carrying the walk state of Algorithm 2.
+ * Internal linkage: the public pass object wrapping applyCaEc() is
+ * casq::CaEcPass (passes/builtin.hh), a distinct class.
  */
-class CaEcPass
+class CaEcWalk
 {
   public:
-    CaEcPass(const LayeredCircuit &circuit, const Backend &backend,
+    CaEcWalk(const LayeredCircuit &circuit, const Backend &backend,
              const CaecOptions &options, CaecStats *stats)
         : _in(circuit),
           _backend(backend),
@@ -729,11 +733,13 @@ class CaEcPass
     }
 };
 
+} // namespace
+
 LayeredCircuit
 applyCaEc(const LayeredCircuit &circuit, const Backend &backend,
           const CaecOptions &options, CaecStats *stats)
 {
-    CaEcPass pass(circuit, backend, options, stats);
+    CaEcWalk pass(circuit, backend, options, stats);
     return pass.run();
 }
 

@@ -1,0 +1,88 @@
+#include "passes/pass_manager.hh"
+
+#include <chrono>
+
+namespace casq {
+
+double
+CompilationResult::totalMillis() const
+{
+    double total = 0.0;
+    for (const PassMetric &metric : metrics)
+        total += metric.millis;
+    return total;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    casq_assert(pass != nullptr, "cannot register a null pass");
+    _passes.push_back(std::move(pass));
+    return *this;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_passes.size());
+    for (const auto &pass : _passes)
+        names.push_back(pass->name());
+    return names;
+}
+
+bool
+PassManager::contains(const std::string &name) const
+{
+    for (const auto &pass : _passes)
+        if (pass->name() == name)
+            return true;
+    return false;
+}
+
+bool
+PassManager::stochastic() const
+{
+    for (const auto &pass : _passes)
+        if (pass->isStochastic())
+            return true;
+    return false;
+}
+
+std::vector<PassMetric>
+PassManager::run(PassContext &context)
+{
+    using Clock = std::chrono::steady_clock;
+    std::vector<PassMetric> metrics;
+    metrics.reserve(_passes.size());
+    for (const auto &pass : _passes) {
+        const auto begin = Clock::now();
+        pass->run(context);
+        const double millis =
+            std::chrono::duration<double, std::milli>(
+                Clock::now() - begin)
+                .count();
+        metrics.push_back(PassMetric{pass->name(), millis});
+        debug("pass ", pass->name(), ": ", millis, " ms -> ",
+              stageName(context.stage()));
+    }
+    return metrics;
+}
+
+CompilationResult
+PassManager::compile(const LayeredCircuit &logical,
+                     const Backend &backend, Rng &rng)
+{
+    PassContext context(logical, backend, rng);
+    CompilationResult result;
+    result.metrics = run(context);
+    casq_assert(context.stage() == CircuitStage::Scheduled,
+                "pipeline ended at the ", stageName(context.stage()),
+                " stage; compile() requires a scheduling pass");
+    result.scheduled = context.takeScheduled();
+    result.notes = context.takeNotes();
+    result.properties = context.takeProperties();
+    return result;
+}
+
+} // namespace casq

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PassManager: an ordered, reusable pass pipeline.
+ *
+ * The manager owns its passes and executes them in registration
+ * order over a PassContext, timing each pass and collecting the
+ * context's diagnostics into a CompilationResult.  Because passes
+ * may carry caches (twirl conjugation tables), a manager is built
+ * once and reused across every instance of an ensemble or every
+ * depth of a parameter sweep.
+ */
+
+#ifndef CASQ_PASSES_PASS_MANAGER_HH
+#define CASQ_PASSES_PASS_MANAGER_HH
+
+#include <memory>
+#include <utility>
+
+#include "passes/pass.hh"
+
+namespace casq {
+
+/** Wall-clock cost of one pass execution. */
+struct PassMetric
+{
+    std::string name;
+    double millis = 0.0;
+};
+
+/** Everything a pipeline run produces. */
+struct CompilationResult
+{
+    ScheduledCircuit scheduled{0, 0};
+
+    /** Per-pass wall-clock timings, in execution order. */
+    std::vector<PassMetric> metrics;
+
+    /** Human-readable diagnostics recorded by passes. */
+    std::vector<std::string> notes;
+
+    /** Final inter-pass property map (analysis results). */
+    std::map<std::string, std::any> properties;
+
+    /** Sum of the per-pass timings. */
+    double totalMillis() const;
+
+    /** Typed read of a final property; nullptr when absent. */
+    template <typename T>
+    const T *
+    property(const std::string &key) const
+    {
+        return propertyAs<T>(properties, key);
+    }
+};
+
+/** An ordered pass pipeline. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+    PassManager(const PassManager &) = delete;
+    PassManager &operator=(const PassManager &) = delete;
+
+    /** Append a pass; returns *this for chaining. */
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Construct and append a pass in place. */
+    template <typename PassT, typename... Args>
+    PassManager &
+    emplace(Args &&...args)
+    {
+        return add(std::make_unique<PassT>(
+            std::forward<Args>(args)...));
+    }
+
+    std::size_t size() const { return _passes.size(); }
+    bool empty() const { return _passes.empty(); }
+
+    /** Registration-ordered pass names. */
+    std::vector<std::string> passNames() const;
+
+    /** True if any registered pass has the given name. */
+    bool contains(const std::string &name) const;
+
+    /** True if any registered pass is stochastic (consumes rng). */
+    bool stochastic() const;
+
+    /**
+     * Execute every pass in order over the context.  Returns the
+     * per-pass timings; diagnostics accumulate on the context.  The
+     * final stage is whatever the last pass left -- an empty
+     * manager leaves the context untouched (the identity pipeline).
+     */
+    std::vector<PassMetric> run(PassContext &context);
+
+    /**
+     * Convenience end-to-end compilation: build a context for the
+     * logical circuit, run the pipeline (which must end at the
+     * Scheduled stage), and package the CompilationResult.
+     */
+    CompilationResult compile(const LayeredCircuit &logical,
+                              const Backend &backend, Rng &rng);
+
+  private:
+    std::vector<std::unique_ptr<Pass>> _passes;
+};
+
+} // namespace casq
+
+#endif // CASQ_PASSES_PASS_MANAGER_HH

@@ -1,6 +1,7 @@
 #include "passes/pipeline.hh"
 
 #include "common/logging.hh"
+#include "passes/builtin.hh"
 
 namespace casq {
 
@@ -26,17 +27,38 @@ strategyName(Strategy strategy)
     casq_panic("invalid Strategy");
 }
 
-ScheduledCircuit
-compileCircuit(const LayeredCircuit &logical, const Backend &backend,
-               const CompileOptions &options, Rng &rng)
+std::optional<Strategy>
+strategyFromName(const std::string &name)
 {
-    LayeredCircuit layered = logical;
-    if (options.twirl)
-        layered = pauliTwirl(layered, rng);
+    for (Strategy strategy : allStrategies())
+        if (strategyName(strategy) == name)
+            return strategy;
+    return std::nullopt;
+}
 
+const std::vector<Strategy> &
+allStrategies()
+{
+    static const std::vector<Strategy> all{
+        Strategy::None,        Strategy::Ec,
+        Strategy::DdAligned,   Strategy::DdStaggered,
+        Strategy::CaDd,        Strategy::EcAlignedDd,
+        Strategy::Combined,
+    };
+    return all;
+}
+
+PassManager
+buildPipeline(const CompileOptions &options)
+{
+    PassManager manager;
+    if (options.twirl)
+        manager.emplace<TwirlPass>();
+
+    // Layered-stage compensation.
     switch (options.strategy) {
       case Strategy::Ec:
-        layered = applyCaEc(layered, backend, options.caec);
+        manager.emplace<CaEcPass>(options.caec);
         break;
       case Strategy::EcAlignedDd: {
         // Aligned DD removes the Z errors; compensation handles
@@ -44,7 +66,7 @@ compileCircuit(const LayeredCircuit &logical, const Backend &backend,
         CaecOptions caec = options.caec;
         caec.compensateZ = false;
         caec.starkCompensation = false;
-        layered = applyCaEc(layered, backend, caec);
+        manager.emplace<CaEcPass>(caec);
         break;
       }
       case Strategy::Combined: {
@@ -53,44 +75,74 @@ compileCircuit(const LayeredCircuit &logical, const Backend &backend,
         CaecOptions caec = caecActiveOnlyOptions();
         caec.assumedDynamicIdleNs =
             options.caec.assumedDynamicIdleNs;
-        layered = applyCaEc(layered, backend, caec);
+        manager.emplace<CaEcPass>(caec);
         break;
       }
       default:
         break;
     }
 
-    Circuit flat = layered.flatten();
+    manager.emplace<FlattenPass>();
     if (options.lowerToNative)
-        flat = transpileToNative(flat, options.transpile);
+        manager.emplace<TranspilePass>(options.transpile);
+    manager.emplace<SchedulePass>();
 
-    ScheduledCircuit scheduled =
-        scheduleASAP(flat, backend.durations());
-
+    // Scheduled-stage decoupling.
     switch (options.strategy) {
       case Strategy::DdAligned:
-        scheduled = applyUniformDd(scheduled, backend.durations(),
-                                   UniformDdStyle::Aligned,
-                                   options.cadd.minDuration);
+      case Strategy::EcAlignedDd:
+        manager.emplace<UniformDdPass>(UniformDdStyle::Aligned,
+                                       options.cadd.minDuration);
         break;
       case Strategy::DdStaggered:
-        scheduled = applyUniformDd(scheduled, backend.durations(),
-                                   UniformDdStyle::StaggeredByParity,
-                                   options.cadd.minDuration);
-        break;
-      case Strategy::EcAlignedDd:
-        scheduled = applyUniformDd(scheduled, backend.durations(),
-                                   UniformDdStyle::Aligned,
-                                   options.cadd.minDuration);
+        manager.emplace<UniformDdPass>(
+            UniformDdStyle::StaggeredByParity,
+            options.cadd.minDuration);
         break;
       case Strategy::CaDd:
       case Strategy::Combined:
-        scheduled = applyCaDd(scheduled, backend, options.cadd);
+        manager.emplace<CaDdPass>(options.cadd);
         break;
       default:
         break;
     }
-    return scheduled;
+    return manager;
+}
+
+PassManager
+buildPipeline(Strategy strategy)
+{
+    CompileOptions options;
+    options.strategy = strategy;
+    return buildPipeline(options);
+}
+
+ScheduledCircuit
+compileCircuit(const LayeredCircuit &logical, const Backend &backend,
+               const CompileOptions &options, Rng &rng)
+{
+    PassManager manager = buildPipeline(options);
+    CompilationResult result =
+        manager.compile(logical, backend, rng);
+    return std::move(result.scheduled);
+}
+
+std::vector<ScheduledCircuit>
+compileEnsemble(const LayeredCircuit &logical, const Backend &backend,
+                PassManager &pipeline, int instances,
+                std::uint64_t seed)
+{
+    const int count = pipeline.stochastic() ? instances : 1;
+    casq_assert(count >= 1, "need at least one instance");
+    std::vector<ScheduledCircuit> out;
+    out.reserve(count);
+    const Rng master(seed);
+    for (int k = 0; k < count; ++k) {
+        Rng rng = master.derive(std::uint64_t(k) + 7001);
+        out.push_back(std::move(
+            pipeline.compile(logical, backend, rng).scheduled));
+    }
+    return out;
 }
 
 std::vector<ScheduledCircuit>
@@ -98,17 +150,9 @@ compileEnsemble(const LayeredCircuit &logical, const Backend &backend,
                 const CompileOptions &options, int instances,
                 std::uint64_t seed)
 {
-    const int count = options.twirl ? instances : 1;
-    casq_assert(count >= 1, "need at least one instance");
-    std::vector<ScheduledCircuit> out;
-    out.reserve(count);
-    const Rng master(seed);
-    for (int k = 0; k < count; ++k) {
-        Rng rng = master.derive(std::uint64_t(k) + 7001);
-        out.push_back(
-            compileCircuit(logical, backend, options, rng));
-    }
-    return out;
+    PassManager pipeline = buildPipeline(options);
+    return compileEnsemble(logical, backend, pipeline, instances,
+                           seed);
 }
 
 } // namespace casq

@@ -1,20 +1,36 @@
 /**
  * @file
- * End-to-end compilation pipeline: twirl -> (CA-EC) -> flatten ->
- * (transpile) -> schedule -> (DD pass), parameterized by the
- * suppression strategy under study.  The benches compare the same
- * strategies the paper's figures do.
+ * Strategy pipelines on top of the composable pass API.
+ *
+ * Compilation is a PassManager run: an ordered list of Pass objects
+ * (pass.hh) executed over a PassContext, producing a
+ * CompilationResult with the scheduled circuit plus per-pass
+ * timings and diagnostics (pass_manager.hh).  The error-suppression
+ * strategies the paper's figures compare are prebuilt pipelines:
+ * buildPipeline(options) assembles the pass list for a Strategy --
+ * twirl -> (CA-EC variant) -> flatten -> (transpile) -> schedule ->
+ * (DD variant) -- from the built-in passes in builtin.hh.
+ *
+ * compileCircuit / compileEnsemble are convenience wrappers that
+ * build and run the pipeline in one call; callers that sweep a
+ * parameter (depth scans, ensembles) should build the pipeline once
+ * and reuse it, which also reuses pass-internal caches such as the
+ * twirl conjugation tables.  New suppression schemes are added by
+ * writing a Pass and appending it to a manager -- no pipeline-core
+ * edits required (see docs/passes.md).
  */
 
 #ifndef CASQ_PASSES_PIPELINE_HH
 #define CASQ_PASSES_PIPELINE_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "circuit/unitary.hh"
 #include "passes/ca_dd.hh"
 #include "passes/ca_ec.hh"
+#include "passes/pass_manager.hh"
 #include "passes/twirling.hh"
 
 namespace casq {
@@ -34,6 +50,15 @@ enum class Strategy
 /** Human-readable strategy label used in bench output. */
 std::string strategyName(Strategy strategy);
 
+/**
+ * Inverse of strategyName(): parse a label such as "ca-dd" (e.g.
+ * from a --strategy CLI flag).  Returns nullopt for unknown names.
+ */
+std::optional<Strategy> strategyFromName(const std::string &name);
+
+/** Every Strategy value, in declaration order. */
+const std::vector<Strategy> &allStrategies();
+
 /** Pipeline configuration. */
 struct CompileOptions
 {
@@ -51,8 +76,20 @@ struct CompileOptions
 };
 
 /**
+ * Assemble the pass pipeline realizing options.strategy.  The
+ * returned manager is reusable: run it across every instance of an
+ * ensemble or every point of a sweep.
+ */
+PassManager buildPipeline(const CompileOptions &options);
+
+/** Pipeline for a strategy with default options. */
+PassManager buildPipeline(Strategy strategy);
+
+/**
  * Compile one instance of a logical layered circuit for the
  * backend under the given strategy.  The rng drives twirl sampling.
+ * Equivalent to buildPipeline(options).compile(...) keeping only
+ * the schedule.
  */
 ScheduledCircuit compileCircuit(const LayeredCircuit &logical,
                                 const Backend &backend,
@@ -67,6 +104,16 @@ std::vector<ScheduledCircuit> compileEnsemble(
     const LayeredCircuit &logical, const Backend &backend,
     const CompileOptions &options, int instances,
     std::uint64_t seed);
+
+/**
+ * Ensemble compilation over a caller-built pipeline.  Instance k
+ * derives its RNG from the seed exactly as the options-based
+ * overload; when no pass reports isStochastic() all instances
+ * would be identical, so only one is compiled.
+ */
+std::vector<ScheduledCircuit> compileEnsemble(
+    const LayeredCircuit &logical, const Backend &backend,
+    PassManager &pipeline, int instances, std::uint64_t seed);
 
 } // namespace casq
 

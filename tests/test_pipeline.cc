@@ -21,6 +21,20 @@ TEST(Pipeline, StrategyNames)
     EXPECT_EQ(strategyName(Strategy::Combined), "ca-ec+dd");
 }
 
+TEST(Pipeline, StrategyNameRoundTripsForEveryValue)
+{
+    for (Strategy strategy : allStrategies()) {
+        const auto parsed =
+            strategyFromName(strategyName(strategy));
+        ASSERT_TRUE(parsed.has_value())
+            << strategyName(strategy);
+        EXPECT_EQ(*parsed, strategy);
+    }
+    EXPECT_EQ(allStrategies().size(), 7u);
+    EXPECT_FALSE(strategyFromName("no-such-strategy").has_value());
+    EXPECT_FALSE(strategyFromName("").has_value());
+}
+
 TEST(Pipeline, EnsembleSizeRespectsTwirlFlag)
 {
     const Backend backend = testBackend();
