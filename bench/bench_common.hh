@@ -25,6 +25,9 @@ struct BenchConfig
     int twirlInstances = 8;   //!< twirled circuit variants
     std::uint64_t seed = 2024;
     double scale = 1.0;       //!< workload scale (depth sweeps)
+    unsigned threads = 1;     //!< ensemble-compilation workers
+                              //!< (0 = one per core); results are
+                              //!< identical for every value
 
     /** When set, benches skip every other strategy's curves. */
     std::optional<Strategy> onlyStrategy;
@@ -38,9 +41,9 @@ struct BenchConfig
 };
 
 /**
- * Parse --traj N, --twirls N, --seed N, --scale X, and
- * --strategy NAME flags plus the CASQ_TRAJ environment variable
- * (lowest precedence).
+ * Parse --traj N, --twirls N, --seed N, --scale X, --threads N,
+ * and --strategy NAME flags plus the CASQ_TRAJ environment
+ * variable (lowest precedence).
  */
 inline BenchConfig
 parseArgs(int argc, char **argv)
@@ -62,6 +65,9 @@ parseArgs(int argc, char **argv)
             config.seed = std::strtoull(v, nullptr, 10);
         else if (const char *v = next("--scale"))
             config.scale = std::atof(v);
+        else if (const char *v = next("--threads"))
+            config.threads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         else if (const char *v = next("--strategy")) {
             config.onlyStrategy = strategyFromName(v);
             if (!config.onlyStrategy) {

@@ -62,7 +62,7 @@ main(int argc, char **argv)
             const LayeredCircuit circuit = buildFloquetIdentity(d);
             const auto ensemble = compileEnsemble(
                 circuit, backend, pipeline, config.twirlInstances,
-                config.seed + 13 * d);
+                config.seed + 13 * d, config.threads);
             ExecutionOptions exec;
             exec.trajectories = config.trajectories;
             exec.seed = config.seed + d;

@@ -55,7 +55,7 @@ sweep(const ContextBuilder &builder,
         const auto points =
             runRamsey(builder, probes, backend,
                       NoiseModel::standard(), compile, depths, exec,
-                      config.twirlInstances);
+                      config.twirlInstances, config.threads);
         Series s;
         s.name = curve.name;
         for (const auto &p : points)

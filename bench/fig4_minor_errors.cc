@@ -184,7 +184,7 @@ figure4c(const bench::BenchConfig &config)
                 return circuit;
             },
             {0, 1, 2}, backend, NoiseModel::standard(), compile,
-            depths, exec, config.twirlInstances);
+            depths, exec, config.twirlInstances, config.threads);
         Series s;
         s.name = name;
         for (const auto &p : points)

@@ -22,7 +22,13 @@ using namespace casq;
 int
 main(int argc, char **argv)
 {
-    (void)bench::parseArgs(argc, argv);
+    const bench::BenchConfig config = bench::parseArgs(argc, argv);
+    if (config.onlyStrategy)
+        std::cout << "(--strategy ignored: this bench walks the "
+                     "coloring passes directly)\n";
+    if (config.threads > 1)
+        std::cout << "(--threads ignored: no ensemble is compiled "
+                     "here)\n";
 
     Backend backend = makeFakeLinear(6, 67);
     // The Fig. 5a example has one NNN crosstalk edge.

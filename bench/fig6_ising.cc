@@ -62,14 +62,17 @@ main(int argc, char **argv)
             continue;
         Series s;
         s.name = name;
+        CompileOptions compile;
+        compile.strategy = strategy;
+        compile.twirl = true;
+        // One pipeline per curve: twirl conjugation tables are
+        // built once and reused across the depth sweep.
+        PassManager pipeline = buildPipeline(compile);
         for (int d : depths) {
             const LayeredCircuit circuit = buildFloquetIsing(6, d);
-            CompileOptions compile;
-            compile.strategy = strategy;
-            compile.twirl = true;
             const auto ensemble = compileEnsemble(
-                circuit, backend, compile, config.twirlInstances,
-                config.seed + 17 * d);
+                circuit, backend, pipeline, config.twirlInstances,
+                config.seed + 17 * d, config.threads);
             ExecutionOptions exec;
             exec.trajectories = config.trajectories;
             exec.seed = config.seed + d;

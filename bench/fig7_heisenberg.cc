@@ -75,15 +75,18 @@ main(int argc, char **argv)
             continue;
         Series s;
         s.name = name;
+        CompileOptions compile;
+        compile.strategy = strategy;
+        compile.twirl = true;
+        // One pipeline per curve: twirl conjugation tables are
+        // built once and reused across the depth sweep.
+        PassManager pipeline = buildPipeline(compile);
         for (int d : depths) {
             const LayeredCircuit circuit =
                 buildHeisenbergRingNative(12, d);
-            CompileOptions compile;
-            compile.strategy = strategy;
-            compile.twirl = true;
             const auto ensemble = compileEnsemble(
-                circuit, backend, compile, config.twirlInstances,
-                config.seed + 31 * d);
+                circuit, backend, pipeline, config.twirlInstances,
+                config.seed + 31 * d, config.threads);
             ExecutionOptions exec;
             // The 12-qubit, 180-CNOT circuit is the heaviest bench;
             // scale the trajectory budget down accordingly.

@@ -38,6 +38,7 @@ main(int argc, char **argv)
     options.depths = {1, 2, 4, 8, 16};
     options.pauliSamples = 5;
     options.twirlInstances = config.twirlInstances;
+    options.threads = config.threads;
     ExecutionOptions exec;
     exec.trajectories = std::max(32, config.trajectories / 2);
     exec.seed = config.seed;

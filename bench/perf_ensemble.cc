@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Ensemble-compilation throughput: serial vs. parallel vs.
+ * prefix-cached (PassManager::runEnsemble).
+ *
+ * Two workloads bound the design space:
+ *
+ *  - "twirled": the paper's dominant workload, a Pauli-twirled
+ *    CA-DD pipeline.  Twirling is the FIRST pass, so the prefix
+ *    cache is inert and all scaling comes from the work-stealing
+ *    thread pool.
+ *
+ *  - "late-stochastic": a pipeline whose only stochastic pass (a
+ *    random readout frame) runs LAST, so flatten + schedule + ca-dd
+ *    compile once and every instance forks from the cached prefix
+ *    snapshot.
+ *
+ * Every configuration is checked byte-for-byte against the serial
+ * uncached schedules before its timing is reported -- a wrong
+ * parallel result fails the bench, so CI timing runs double as a
+ * correctness gate.  Use --json FILE to append the numbers to the
+ * BENCH_*.json trajectory.
+ *
+ *   $ ./perf_ensemble --instances 100 --threads-list 1,2,4,8
+ *   $ ./perf_ensemble --json BENCH_perf_ensemble.json
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "passes/builtin.hh"
+#include "passes/pipeline.hh"
+
+using namespace casq;
+
+namespace {
+
+struct PerfOptions
+{
+    int instances = 100;
+    std::size_t qubits = 12;
+    int depth = 24;
+    std::uint64_t seed = 2024;
+    std::vector<unsigned> threadsList{1, 2, 4, 8};
+    std::string jsonPath;
+};
+
+/**
+ * Stochastic scheduled-stage pass: applies a uniformly random
+ * Pauli readout frame (tagged like a twirl gate) to every qubit
+ * after the last scheduled instruction.  Deliberately cheap -- it
+ * stands in for any randomization that happens after the expensive
+ * deterministic lowering, which is exactly when the prefix cache
+ * pays off.
+ */
+class RandomFramePass : public Pass
+{
+  public:
+    std::string name() const override { return "random-frame"; }
+    bool isStochastic() const override { return true; }
+
+    void
+    run(PassContext &context) override
+    {
+        static const Op paulis[] = {Op::I, Op::X, Op::Y, Op::Z};
+        const double start = context.scheduled().totalDuration();
+        const double duration =
+            context.backend().durations().oneQubit;
+        ScheduledCircuit &schedule = context.mutableScheduled();
+        for (std::uint32_t q = 0; q < schedule.numQubits(); ++q) {
+            const Op op = paulis[context.rng().uniformInt(4)];
+            if (op == Op::I)
+                continue;
+            Instruction inst(op, {q});
+            inst.tag = InstTag::Twirl;
+            schedule.add(TimedInstruction{inst, start, duration});
+        }
+    }
+};
+
+/** One measured configuration. */
+struct Sample
+{
+    std::string workload;
+    unsigned threads = 1;
+    bool cached = false;
+    double wallMillis = 0.0;
+    std::size_t prefixLength = 0;
+    int instances = 0;
+
+    double
+    instancesPerSecond() const
+    {
+        return wallMillis > 0.0
+                   ? 1e3 * double(instances) / wallMillis
+                   : 0.0;
+    }
+};
+
+void
+usage(const char *prog)
+{
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "  --instances N     ensemble size (default 100)\n"
+        << "  --qubits N        chain length (default 12)\n"
+        << "  --depth D         layer pairs (default 24)\n"
+        << "  --seed S          master seed (default 2024)\n"
+        << "  --threads-list L  comma-separated thread counts\n"
+        << "                    (default 1,2,4,8)\n"
+        << "  --json FILE       write machine-readable results\n";
+}
+
+PerfOptions
+parse(int argc, char **argv)
+{
+    PerfOptions options;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (const char *v = value("--instances")) {
+            options.instances = std::atoi(v);
+        } else if (const char *v = value("--qubits")) {
+            options.qubits = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--depth")) {
+            options.depth = std::atoi(v);
+        } else if (const char *v = value("--seed")) {
+            options.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--threads-list")) {
+            options.threadsList.clear();
+            std::stringstream ss(v);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                options.threadsList.push_back(
+                    static_cast<unsigned>(std::atoi(item.c_str())));
+        } else if (const char *v = value("--json")) {
+            options.jsonPath = v;
+        } else {
+            std::cerr << "unknown argument '" << argv[i] << "'\n";
+            usage(argv[0]);
+            std::exit(1);
+        }
+    }
+    return options;
+}
+
+/** Schedules of one configuration, for byte-identity checks. */
+std::vector<std::string>
+fingerprints(const EnsembleResult &result)
+{
+    std::vector<std::string> prints;
+    prints.reserve(result.instances.size());
+    for (const CompilationResult &instance : result.instances)
+        prints.push_back(instance.scheduled.toString());
+    return prints;
+}
+
+Sample
+measure(const std::string &workload, PassManager &pipeline,
+        const LayeredCircuit &logical, const Backend &backend,
+        const EnsembleOptions &ensemble,
+        const std::vector<std::string> &expected)
+{
+    EnsembleResult result =
+        pipeline.runEnsemble(logical, backend, ensemble);
+    const auto actual = fingerprints(result);
+    if (actual != expected) {
+        std::cerr << "FAIL: " << workload << " threads="
+                  << ensemble.threads << " cached="
+                  << ensemble.prefixCache
+                  << " diverged from the serial schedules\n";
+        std::exit(1);
+    }
+    Sample sample;
+    sample.workload = workload;
+    sample.threads = ensemble.threads;
+    // Record whether caching actually happened, not whether it was
+    // requested: a twirl-first pipeline bypasses the cache.
+    sample.cached = result.prefixLength > 0;
+    sample.wallMillis = result.wallMillis;
+    sample.prefixLength = result.prefixLength;
+    sample.instances = int(result.instances.size());
+    return sample;
+}
+
+void
+report(const std::vector<Sample> &samples, double serial_ms)
+{
+    std::cout << std::left << std::setw(16) << "workload"
+              << std::right << std::setw(8) << "threads"
+              << std::setw(8) << "cached" << std::setw(12)
+              << "wall ms" << std::setw(12) << "inst/s"
+              << std::setw(10) << "speedup" << "\n";
+    for (const Sample &s : samples)
+        std::cout << std::left << std::setw(16) << s.workload
+                  << std::right << std::setw(8) << s.threads
+                  << std::setw(8) << (s.cached ? "yes" : "no")
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(2) << s.wallMillis
+                  << std::setw(12) << std::setprecision(1)
+                  << s.instancesPerSecond() << std::setw(10)
+                  << std::setprecision(2)
+                  << (s.wallMillis > 0.0 ? serial_ms / s.wallMillis
+                                         : 0.0)
+                  << "\n";
+    std::cout << "\n";
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<Sample> &samples,
+          const PerfOptions &options)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << "{\n  \"bench\": \"perf_ensemble\",\n"
+        << "  \"qubits\": " << options.qubits << ",\n"
+        << "  \"depth\": " << options.depth << ",\n"
+        << "  \"instances\": " << options.instances << ",\n"
+        << "  \"samples\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        out << "    {\"workload\": \"" << s.workload
+            << "\", \"threads\": " << s.threads
+            << ", \"cached\": " << (s.cached ? "true" : "false")
+            << ", \"prefix_length\": " << s.prefixLength
+            << ", \"wall_ms\": " << std::fixed
+            << std::setprecision(3) << s.wallMillis
+            << ", \"instances_per_s\": " << std::setprecision(1)
+            << s.instancesPerSecond() << "}"
+            << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const PerfOptions options = parse(argc, argv);
+    const Backend backend = makeFakeLinear(options.qubits, 7);
+    const LayeredCircuit logical = bench::syntheticChainWorkload(
+        options.qubits, options.depth, /*idle_layers=*/true);
+
+    std::vector<Sample> all;
+
+    // ---------------------------------------------- twirled CA-DD
+    // Twirl is the first pass: no deterministic prefix, pure
+    // thread-pool scaling (the paper's Figs. 3-10 workload shape).
+    CompileOptions compile;
+    compile.strategy = Strategy::CaDd;
+    compile.twirl = true;
+    PassManager twirled = buildPipeline(compile);
+
+    EnsembleOptions ensemble;
+    ensemble.instances = options.instances;
+    ensemble.seed = options.seed;
+    ensemble.threads = 1;
+    ensemble.prefixCache = false;
+
+    EnsembleResult serial =
+        twirled.runEnsemble(logical, backend, ensemble);
+    const auto twirled_expected = fingerprints(serial);
+    Sample serial_sample;
+    serial_sample.workload = "twirled";
+    serial_sample.wallMillis = serial.wallMillis;
+    serial_sample.instances = int(serial.instances.size());
+    all.push_back(serial_sample);
+
+    std::vector<Sample> twirled_samples{serial_sample};
+    for (unsigned threads : options.threadsList) {
+        if (threads <= 1)
+            continue;
+        ensemble.threads = threads;
+        ensemble.prefixCache = true; // bypassed: prefix length 0
+        all.push_back(measure("twirled", twirled, logical, backend,
+                              ensemble, twirled_expected));
+        twirled_samples.push_back(all.back());
+    }
+    report(twirled_samples, serial_sample.wallMillis);
+
+    // ------------------------------------------- late stochastic
+    // Deterministic flatten + schedule + ca-dd prefix, stochastic
+    // readout frame last: the prefix compiles once per ensemble.
+    PassManager late;
+    late.emplace<FlattenPass>();
+    late.emplace<SchedulePass>();
+    late.emplace<CaDdPass>();
+    late.emplace<RandomFramePass>();
+
+    ensemble.threads = 1;
+    ensemble.prefixCache = false;
+    EnsembleResult late_serial =
+        late.runEnsemble(logical, backend, ensemble);
+    const auto late_expected = fingerprints(late_serial);
+    Sample late_sample;
+    late_sample.workload = "late-stochastic";
+    late_sample.wallMillis = late_serial.wallMillis;
+    late_sample.instances = int(late_serial.instances.size());
+    all.push_back(late_sample);
+
+    std::vector<Sample> late_samples{late_sample};
+    ensemble.prefixCache = true;
+    for (unsigned threads : options.threadsList) {
+        ensemble.threads = threads;
+        all.push_back(measure("late-stochastic", late, logical,
+                              backend, ensemble, late_expected));
+        late_samples.push_back(all.back());
+    }
+    report(late_samples, late_sample.wallMillis);
+
+    if (!options.jsonPath.empty())
+        writeJson(options.jsonPath, all, options);
+    return 0;
+}

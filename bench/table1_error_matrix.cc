@@ -57,7 +57,7 @@ fidelity(const Backend &backend, const ContextBuilder &builder,
     exec.seed = config.seed;
     const auto points =
         runRamsey(builder, probes, backend, NoiseModel::standard(),
-                  compile, {depth}, exec, 4);
+                  compile, {depth}, exec, 4, config.threads);
     return points[0].fidelity;
 }
 

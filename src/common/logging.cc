@@ -1,24 +1,27 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace casq {
 
 namespace {
-LogLevel global_level = LogLevel::Warn;
+// Atomic so worker threads (ensemble compilation) can read the
+// level while the main thread flips it from a CLI flag.
+std::atomic<LogLevel> global_level{LogLevel::Warn};
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -5,6 +5,15 @@
  * Every trajectory derives its own Rng from (master seed, trajectory
  * index) so results are reproducible independent of thread scheduling.
  * The generator is xoshiro256++ seeded via splitmix64.
+ *
+ * Thread-safety model: an Rng instance is mutable state and must be
+ * confined to one thread; there is no internal locking.  Parallel
+ * work (trajectory sweeps, ensemble compilation) takes a const
+ * master Rng and gives each unit of work its own counter-derived
+ * stream via derive(), which is const and safe to call from any
+ * number of threads concurrently.  This is what makes parallel
+ * results bit-identical to serial ones: stream identity depends
+ * only on (seed, index), never on scheduling order.
  */
 
 #ifndef CASQ_COMMON_RNG_HH

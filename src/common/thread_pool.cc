@@ -1,0 +1,115 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace casq {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count =
+        threads == 0 ? hardwareThreads() : threads;
+    _workers.resize(count);
+    _threads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _wake.notify_all();
+    for (std::thread &thread : _threads)
+        thread.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    casq_assert(task != nullptr, "cannot submit a null task");
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _workers[_nextQueue].queue.push_back(std::move(task));
+        _nextQueue = (_nextQueue + 1) % _workers.size();
+        ++_pending;
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _pending == 0; });
+}
+
+std::function<void()>
+ThreadPool::takeTask(std::size_t self)
+{
+    Worker &own = _workers[self];
+    if (!own.queue.empty()) {
+        std::function<void()> task = std::move(own.queue.front());
+        own.queue.pop_front();
+        return task;
+    }
+    // Steal from the back of the first non-empty sibling, scanning
+    // from the next worker over so victims rotate.
+    for (std::size_t k = 1; k < _workers.size(); ++k) {
+        Worker &victim = _workers[(self + k) % _workers.size()];
+        if (victim.queue.empty())
+            continue;
+        std::function<void()> task = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        return task;
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        if (std::function<void()> task = takeTask(self)) {
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--_pending == 0)
+                _idle.notify_all();
+            continue;
+        }
+        if (_shutdown)
+            return;
+        _wake.wait(lock);
+    }
+}
+
+void
+parallelFor(std::size_t count, unsigned threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (threads == 0)
+        threads = ThreadPool::hardwareThreads();
+    if (threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(std::min<std::size_t>(threads, count));
+    for (std::size_t i = 0; i < count; ++i)
+        pool.submit([&body, i] { body(i); });
+    pool.wait();
+}
+
+} // namespace casq

@@ -189,7 +189,7 @@ measureLayerFidelity(const LayerSpec &spec, const Backend &backend,
 
             const auto ensemble = compileEnsemble(
                 circuit, backend, pipeline, options.twirlInstances,
-                exec.seed + 13 * r + 131 * depth);
+                exec.seed + 13 * r + 131 * depth, options.threads);
             const RunResult result =
                 executor.run(ensemble, observables, exec);
             for (std::size_t u = 0; u < units.size(); ++u)

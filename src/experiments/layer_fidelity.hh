@@ -60,6 +60,9 @@ struct LayerFidelityOptions
     std::vector<int> depths{1, 2, 4, 8, 16};
     int pauliSamples = 6; //!< random Pauli settings per unit
     int twirlInstances = 8;
+
+    /** Ensemble-compilation workers (1 = inline, 0 = per core). */
+    unsigned threads = 1;
 };
 
 /**

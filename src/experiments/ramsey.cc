@@ -43,7 +43,8 @@ runRamsey(const ContextBuilder &builder,
           const Backend &backend, const NoiseModel &noise,
           const CompileOptions &compile,
           const std::vector<int> &depths,
-          const ExecutionOptions &exec, int twirl_instances)
+          const ExecutionOptions &exec, int twirl_instances,
+          unsigned threads)
 {
     const Executor executor(backend, noise);
     const std::vector<PauliString> obs =
@@ -58,7 +59,7 @@ runRamsey(const ContextBuilder &builder,
         const LayeredCircuit layered = builder(depth);
         const auto ensemble = compileEnsemble(
             layered, backend, pipeline, twirl_instances,
-            exec.seed + std::uint64_t(depth) * 977);
+            exec.seed + std::uint64_t(depth) * 977, threads);
         const RunResult result = executor.run(ensemble, obs, exec);
 
         RamseyPoint point;

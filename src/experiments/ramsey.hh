@@ -34,14 +34,16 @@ struct RamseyPoint
 /**
  * Run the Ramsey protocol: compile builder(d) under the options,
  * execute, and convert the X-string expectations on the probe
- * qubits into the |+...+> overlap.
+ * qubits into the |+...+> overlap.  `threads` workers compile each
+ * depth's twirled ensemble (1 = inline, 0 = one per core) without
+ * changing any result.
  */
 std::vector<RamseyPoint> runRamsey(
     const ContextBuilder &builder,
     const std::vector<std::uint32_t> &probes, const Backend &backend,
     const NoiseModel &noise, const CompileOptions &compile,
     const std::vector<int> &depths, const ExecutionOptions &exec,
-    int twirl_instances = 8);
+    int twirl_instances = 8, unsigned threads = 1);
 
 /** |+...+> overlap from the 2^k X-subset expectations. */
 double plusStateFidelity(const std::vector<double> &x_subsets);

@@ -22,6 +22,15 @@ PassContext::PassContext(const LayeredCircuit &logical,
 {
 }
 
+PassContext::PassContext(const PassContext &snapshot, Rng &rng)
+    : _source(snapshot._source), _backend(snapshot._backend),
+      _rng(rng), _stage(snapshot._stage),
+      _layered(snapshot._layered), _flat(snapshot._flat),
+      _scheduled(snapshot._scheduled),
+      _properties(snapshot._properties), _notes(snapshot._notes)
+{
+}
+
 void
 PassContext::requireStage(CircuitStage wanted, const char *what) const
 {

@@ -82,6 +82,18 @@ class PassContext
     PassContext(const LayeredCircuit &logical, const Backend &backend,
                 Rng &rng);
 
+    /**
+     * Fork a context from a mid-pipeline snapshot: the new context
+     * copies the snapshot's circuit (at whatever stage it reached),
+     * property map, and notes, but draws randomness from `rng`
+     * instead of the snapshot's generator.  PassManager::runEnsemble
+     * uses this to run a pipeline's deterministic prefix once and
+     * fork one context per ensemble instance from the cached result;
+     * anything still borrowed from the snapshot (the logical
+     * circuit, the backend) must outlive the fork.
+     */
+    PassContext(const PassContext &snapshot, Rng &rng);
+
     const Backend &backend() const { return _backend; }
     Rng &rng() { return _rng; }
 
@@ -188,6 +200,15 @@ class PassContext
  * context's circuit, publish properties, or both.  Passes may keep
  * state across run() calls (e.g. conjugation-table caches), which a
  * PassManager reuses across the instances of an ensemble.
+ *
+ * Concurrency contract: PassManager::runEnsemble invokes run() on
+ * the SAME pass object from multiple worker threads, each with its
+ * own PassContext.  A pass whose only state is configuration set at
+ * construction is trivially safe; a pass with mutable cross-run
+ * state must synchronize it internally (TwirlTableCache is the
+ * worked example).  All randomness must come from context.rng() --
+ * never from shared or global generators -- so that compilation is
+ * reproducible per instance regardless of thread schedule.
  */
 class Pass
 {

@@ -1,8 +1,32 @@
 #include "passes/pass_manager.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+
+#include "common/thread_pool.hh"
 
 namespace casq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     begin)
+        .count();
+}
+
+} // namespace
+
+PassManager::PassManager() = default;
+PassManager::~PassManager() = default;
+PassManager::PassManager(PassManager &&) noexcept = default;
+PassManager &
+PassManager::operator=(PassManager &&) noexcept = default;
 
 double
 CompilationResult::totalMillis() const
@@ -43,25 +67,32 @@ PassManager::contains(const std::string &name) const
 bool
 PassManager::stochastic() const
 {
-    for (const auto &pass : _passes)
-        if (pass->isStochastic())
-            return true;
-    return false;
+    return stochasticPrefixLength() < _passes.size();
+}
+
+std::size_t
+PassManager::stochasticPrefixLength() const
+{
+    for (std::size_t i = 0; i < _passes.size(); ++i)
+        if (_passes[i]->isStochastic())
+            return i;
+    return _passes.size();
 }
 
 std::vector<PassMetric>
-PassManager::run(PassContext &context)
+PassManager::runRange(PassContext &context, std::size_t begin,
+                      std::size_t end)
 {
-    using Clock = std::chrono::steady_clock;
+    casq_assert(begin <= end && end <= _passes.size(),
+                "pass range [", begin, ", ", end,
+                ") out of bounds for ", _passes.size(), " passes");
     std::vector<PassMetric> metrics;
-    metrics.reserve(_passes.size());
-    for (const auto &pass : _passes) {
-        const auto begin = Clock::now();
+    metrics.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        const auto &pass = _passes[i];
+        const auto start = Clock::now();
         pass->run(context);
-        const double millis =
-            std::chrono::duration<double, std::milli>(
-                Clock::now() - begin)
-                .count();
+        const double millis = millisSince(start);
         metrics.push_back(PassMetric{pass->name(), millis});
         debug("pass ", pass->name(), ": ", millis, " ms -> ",
               stageName(context.stage()));
@@ -69,20 +100,107 @@ PassManager::run(PassContext &context)
     return metrics;
 }
 
+std::vector<PassMetric>
+PassManager::run(PassContext &context)
+{
+    return runRange(context, 0, _passes.size());
+}
+
+CompilationResult
+PassManager::packageResult(PassContext &context,
+                           std::vector<PassMetric> metrics)
+{
+    casq_assert(context.stage() == CircuitStage::Scheduled,
+                "pipeline ended at the ", stageName(context.stage()),
+                " stage; compile() requires a scheduling pass");
+    CompilationResult result;
+    result.metrics = std::move(metrics);
+    result.scheduled = context.takeScheduled();
+    result.notes = context.takeNotes();
+    result.properties = context.takeProperties();
+    return result;
+}
+
 CompilationResult
 PassManager::compile(const LayeredCircuit &logical,
                      const Backend &backend, Rng &rng)
 {
     PassContext context(logical, backend, rng);
-    CompilationResult result;
-    result.metrics = run(context);
-    casq_assert(context.stage() == CircuitStage::Scheduled,
-                "pipeline ended at the ", stageName(context.stage()),
-                " stage; compile() requires a scheduling pass");
-    result.scheduled = context.takeScheduled();
-    result.notes = context.takeNotes();
-    result.properties = context.takeProperties();
-    return result;
+    std::vector<PassMetric> metrics = run(context);
+    return packageResult(context, std::move(metrics));
+}
+
+EnsembleResult
+PassManager::runEnsemble(const LayeredCircuit &logical,
+                         const Backend &backend,
+                         const EnsembleOptions &options)
+{
+    const auto wall_begin = Clock::now();
+    const int count = stochastic() ? options.instances : 1;
+    casq_assert(count >= 1, "need at least one instance");
+
+    EnsembleResult out;
+
+    // Run the deterministic prefix once; every instance forks its
+    // context from this snapshot.  Prefix passes never touch the
+    // rng (isStochastic() contract), so the snapshot -- and hence
+    // each fork -- is identical to what a full per-instance run
+    // would have produced.
+    const std::size_t prefix =
+        options.prefixCache ? stochasticPrefixLength() : 0;
+    Rng prefix_rng(options.seed);
+    std::optional<PassContext> snapshot;
+    if (prefix > 0) {
+        snapshot.emplace(logical, backend, prefix_rng);
+        out.prefixMetrics = runRange(*snapshot, 0, prefix);
+        out.prefixLength = prefix;
+    }
+
+    const Rng master(options.seed);
+    out.instances.resize(count);
+    const auto compileInstance = [&](std::size_t k) {
+        // Matches the historical serial derivation so ensembles
+        // stay reproducible against pinned seed outputs.
+        Rng rng = master.derive(std::uint64_t(k) + 7001);
+        if (prefix > 0) {
+            PassContext context(*snapshot, rng);
+            std::vector<PassMetric> metrics = out.prefixMetrics;
+            auto suffix = runRange(context, prefix, _passes.size());
+            metrics.insert(
+                metrics.end(),
+                std::make_move_iterator(suffix.begin()),
+                std::make_move_iterator(suffix.end()));
+            out.instances[k] =
+                packageResult(context, std::move(metrics));
+        } else {
+            PassContext context(logical, backend, rng);
+            out.instances[k] = packageResult(
+                context, runRange(context, 0, _passes.size()));
+        }
+    };
+
+    const unsigned threads =
+        std::min<std::size_t>(options.threads == 0
+                                  ? ThreadPool::hardwareThreads()
+                                  : options.threads,
+                              std::size_t(count));
+    if (threads <= 1) {
+        for (int k = 0; k < count; ++k)
+            compileInstance(std::size_t(k));
+    } else {
+        // The pool outlives the call so a sweep of ensembles pays
+        // thread spawn/teardown once, not once per runEnsemble.
+        if (!_pool || _pool->threadCount() != threads)
+            _pool = std::make_unique<ThreadPool>(threads);
+        for (int k = 0; k < count; ++k)
+            _pool->submit([&compileInstance, k] {
+                compileInstance(std::size_t(k));
+            });
+        _pool->wait();
+    }
+
+    out.wallMillis = millisSince(wall_begin);
+    return out;
 }
 
 } // namespace casq

@@ -8,6 +8,14 @@
  * may carry caches (twirl conjugation tables), a manager is built
  * once and reused across every instance of an ensemble or every
  * depth of a parameter sweep.
+ *
+ * Ensembles are first-class: runEnsemble() compiles N instances
+ * concurrently on a work-stealing pool (common/thread_pool.hh) and
+ * reuses the pipeline's deterministic prefix -- every pass before
+ * the first isStochastic() one -- across all instances via a cached
+ * context snapshot.  Instance k always draws from the RNG stream
+ * derived as (seed, k), so the schedules are bit-identical to the
+ * serial path for every thread count.
  */
 
 #ifndef CASQ_PASSES_PASS_MANAGER_HH
@@ -19,6 +27,8 @@
 #include "passes/pass.hh"
 
 namespace casq {
+
+class ThreadPool;
 
 /** Wall-clock cost of one pass execution. */
 struct PassMetric
@@ -53,13 +63,61 @@ struct CompilationResult
     }
 };
 
+/** Configuration of a runEnsemble() call. */
+struct EnsembleOptions
+{
+    /**
+     * Requested instance count.  A pipeline with no stochastic pass
+     * compiles a single instance regardless (N identical copies
+     * would be waste).
+     */
+    int instances = 1;
+
+    /** Master seed; instance k uses the derived stream (seed, k). */
+    std::uint64_t seed = 0;
+
+    /** Worker threads; 1 compiles inline, 0 means one per core. */
+    unsigned threads = 1;
+
+    /**
+     * Run the deterministic pass prefix once and fork per-instance
+     * contexts from the cached snapshot.  Disabling recompiles the
+     * prefix per instance; the schedules are identical either way.
+     */
+    bool prefixCache = true;
+};
+
+/** Everything an ensemble compilation produces. */
+struct EnsembleResult
+{
+    /** One CompilationResult per compiled instance. */
+    std::vector<CompilationResult> instances;
+
+    /**
+     * Passes served from the shared prefix snapshot (0 when the
+     * first pass is stochastic or the cache was disabled).  The
+     * prefix ran exactly once; its timings are prefixMetrics and
+     * are also replicated into each instance's metrics so that
+     * every CompilationResult keeps one entry per pipeline pass.
+     */
+    std::size_t prefixLength = 0;
+    std::vector<PassMetric> prefixMetrics;
+
+    /** End-to-end wall-clock time of the ensemble compilation. */
+    double wallMillis = 0.0;
+};
+
 /** An ordered pass pipeline. */
 class PassManager
 {
   public:
-    PassManager() = default;
-    PassManager(PassManager &&) = default;
-    PassManager &operator=(PassManager &&) = default;
+    // Defined out of line: the worker pool member needs ThreadPool
+    // complete.  Moving a manager transfers the pool (its threads
+    // reference it through a stable unique_ptr address).
+    PassManager();
+    ~PassManager();
+    PassManager(PassManager &&) noexcept;
+    PassManager &operator=(PassManager &&) noexcept;
     PassManager(const PassManager &) = delete;
     PassManager &operator=(const PassManager &) = delete;
 
@@ -88,6 +146,14 @@ class PassManager
     bool stochastic() const;
 
     /**
+     * Length of the deterministic prefix: the number of leading
+     * passes before the first stochastic one (size() when the
+     * whole pipeline is deterministic).  This is the portion
+     * runEnsemble() computes once and shares across instances.
+     */
+    std::size_t stochasticPrefixLength() const;
+
+    /**
      * Execute every pass in order over the context.  Returns the
      * per-pass timings; diagnostics accumulate on the context.  The
      * final stage is whatever the last pass left -- an empty
@@ -103,8 +169,42 @@ class PassManager
     CompilationResult compile(const LayeredCircuit &logical,
                               const Backend &backend, Rng &rng);
 
+    /**
+     * Compile an ensemble of independently seeded instances, in
+     * parallel when options.threads allows.  Determinism guarantee:
+     * instance k's schedule depends only on (pipeline, logical,
+     * backend, options.seed, k) -- never on the thread count, the
+     * prefix cache, or scheduling order -- because each instance
+     * draws from its own counter-derived RNG stream and the cached
+     * prefix is deterministic by the isStochastic() contract.
+     *
+     * Passes run concurrently on distinct contexts; see the Pass
+     * concurrency contract in pass.hh.  The pipeline must end at
+     * the Scheduled stage, as for compile().
+     *
+     * The worker pool is kept alive on the manager and reused by
+     * subsequent runEnsemble calls with the same thread count, so
+     * sweeps (one ensemble per depth) do not respawn threads per
+     * point.  Consequently a manager must not run two ensembles
+     * from different threads at the same time.
+     */
+    EnsembleResult runEnsemble(const LayeredCircuit &logical,
+                               const Backend &backend,
+                               const EnsembleOptions &options);
+
   private:
     std::vector<std::unique_ptr<Pass>> _passes;
+    std::unique_ptr<ThreadPool> _pool; //!< lazy, reused across runs
+
+    /** Timed execution of passes [begin, end) over the context. */
+    std::vector<PassMetric> runRange(PassContext &context,
+                                     std::size_t begin,
+                                     std::size_t end);
+
+    /** Package a finished (Scheduled) context into a result. */
+    static CompilationResult
+    packageResult(PassContext &context,
+                  std::vector<PassMetric> metrics);
 };
 
 } // namespace casq

@@ -130,29 +130,29 @@ compileCircuit(const LayeredCircuit &logical, const Backend &backend,
 std::vector<ScheduledCircuit>
 compileEnsemble(const LayeredCircuit &logical, const Backend &backend,
                 PassManager &pipeline, int instances,
-                std::uint64_t seed)
+                std::uint64_t seed, unsigned threads)
 {
-    const int count = pipeline.stochastic() ? instances : 1;
-    casq_assert(count >= 1, "need at least one instance");
+    EnsembleOptions options;
+    options.instances = instances;
+    options.seed = seed;
+    options.threads = threads;
+    EnsembleResult result =
+        pipeline.runEnsemble(logical, backend, options);
     std::vector<ScheduledCircuit> out;
-    out.reserve(count);
-    const Rng master(seed);
-    for (int k = 0; k < count; ++k) {
-        Rng rng = master.derive(std::uint64_t(k) + 7001);
-        out.push_back(std::move(
-            pipeline.compile(logical, backend, rng).scheduled));
-    }
+    out.reserve(result.instances.size());
+    for (CompilationResult &instance : result.instances)
+        out.push_back(std::move(instance.scheduled));
     return out;
 }
 
 std::vector<ScheduledCircuit>
 compileEnsemble(const LayeredCircuit &logical, const Backend &backend,
                 const CompileOptions &options, int instances,
-                std::uint64_t seed)
+                std::uint64_t seed, unsigned threads)
 {
     PassManager pipeline = buildPipeline(options);
     return compileEnsemble(logical, backend, pipeline, instances,
-                           seed);
+                           seed, threads);
 }
 
 } // namespace casq

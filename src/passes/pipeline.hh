@@ -15,9 +15,17 @@
  * build and run the pipeline in one call; callers that sweep a
  * parameter (depth scans, ensembles) should build the pipeline once
  * and reuse it, which also reuses pass-internal caches such as the
- * twirl conjugation tables.  New suppression schemes are added by
- * writing a Pass and appending it to a manager -- no pipeline-core
- * edits required (see docs/passes.md).
+ * twirl conjugation tables.  Ensemble compilation is parallel and
+ * cached under the hood (PassManager::runEnsemble): instances
+ * compile concurrently on a work-stealing pool when a thread count
+ * is given, and the pipeline's deterministic prefix -- the passes
+ * before the first stochastic one -- runs once and is shared across
+ * instances.  Both optimizations are exact: instance k's schedule
+ * depends only on (pipeline, circuit, backend, seed, k), so any
+ * thread count reproduces the serial output byte for byte.  New
+ * suppression schemes are added by writing a Pass and appending it
+ * to a manager -- no pipeline-core edits required (see
+ * docs/passes.md).
  */
 
 #ifndef CASQ_PASSES_PIPELINE_HH
@@ -98,12 +106,14 @@ ScheduledCircuit compileCircuit(const LayeredCircuit &logical,
 
 /**
  * Compile `instances` independently twirled instances (or a single
- * instance when twirling is disabled).
+ * instance when twirling is disabled), on `threads` workers (1 =
+ * inline, 0 = one per core).  The result is identical for every
+ * thread count.
  */
 std::vector<ScheduledCircuit> compileEnsemble(
     const LayeredCircuit &logical, const Backend &backend,
     const CompileOptions &options, int instances,
-    std::uint64_t seed);
+    std::uint64_t seed, unsigned threads = 1);
 
 /**
  * Ensemble compilation over a caller-built pipeline.  Instance k
@@ -113,7 +123,8 @@ std::vector<ScheduledCircuit> compileEnsemble(
  */
 std::vector<ScheduledCircuit> compileEnsemble(
     const LayeredCircuit &logical, const Backend &backend,
-    PassManager &pipeline, int instances, std::uint64_t seed);
+    PassManager &pipeline, int instances, std::uint64_t seed,
+    unsigned threads = 1);
 
 } // namespace casq
 

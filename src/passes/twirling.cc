@@ -1,6 +1,7 @@
 #include "passes/twirling.hh"
 
 #include <cmath>
+#include <mutex>
 #include <sstream>
 
 #include "circuit/unitary.hh"
@@ -37,14 +38,17 @@ TwirlTableCache::tableFor(const Instruction &inst)
     casq_assert(opIsTwoQubitGate(inst.op),
                 "twirl table for non-2q gate ", opName(inst.op));
     const std::string key = gateKey(inst);
-    auto it = _tables.find(key);
-    if (it == _tables.end()) {
-        it = _tables
-                 .emplace(key,
-                          Conjugation2Q(instructionUnitary(inst)))
-                 .first;
+    {
+        std::shared_lock<std::shared_mutex> lock(_mutex);
+        const auto it = _tables.find(key);
+        if (it != _tables.end())
+            return it->second;
     }
-    return it->second;
+    // Build outside any lock (the table construction is the
+    // expensive part), then let the first inserter win.
+    Conjugation2Q table(instructionUnitary(inst));
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    return _tables.emplace(key, std::move(table)).first->second;
 }
 
 LayeredCircuit

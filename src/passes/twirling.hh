@@ -17,6 +17,7 @@
 #define CASQ_PASSES_TWIRLING_HH
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "circuit/stratify.hh"
@@ -25,7 +26,16 @@
 
 namespace casq {
 
-/** Cache of numerically-built conjugation tables per gate kind. */
+/**
+ * Cache of numerically-built conjugation tables per gate kind.
+ *
+ * tableFor() is safe to call concurrently: parallel ensemble
+ * compilation (PassManager::runEnsemble) shares one TwirlPass --
+ * and therefore one cache -- across all worker threads.  Lookups
+ * take a shared lock; the first miss per gate kind builds the
+ * table under the exclusive lock.  Returned references stay valid
+ * for the cache's lifetime (std::map nodes are stable).
+ */
 class TwirlTableCache
 {
   public:
@@ -33,6 +43,7 @@ class TwirlTableCache
     const Conjugation2Q &tableFor(const Instruction &inst);
 
   private:
+    std::shared_mutex _mutex;
     std::map<std::string, Conjugation2Q> _tables;
 };
 

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace casq {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitWithoutTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 4; ++batch) {
+        for (int i = 0; i < 25; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), 25 * (batch + 1));
+    }
+}
+
+TEST(ThreadPool, DrainsPendingTasksOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++counter;
+            });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, StealsWorkFromLoadedQueues)
+{
+    // Round-robin submission puts the slow tasks on every worker's
+    // queue interleaved with fast ones; with stealing, the total
+    // runtime is bounded by the slow tasks alone.  Correctness (not
+    // timing) is what we assert: all tasks complete even when one
+    // worker is pinned by a long task.
+    ThreadPool pool(2);
+    std::atomic<int> fast{0};
+    std::atomic<bool> release{false};
+    pool.submit([&release] {
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    for (int i = 0; i < 40; ++i)
+        pool.submit([&fast] { ++fast; });
+    // The fast tasks land on both queues; the second worker must
+    // steal the ones behind the blocked worker's task.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (fast.load() < 40 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(fast.load(), 40);
+    release.store(true);
+    pool.wait();
+}
+
+TEST(ThreadPool, HardwareThreadsHasFloorOfOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        std::vector<std::atomic<int>> hits(100);
+        parallelFor(hits.size(), threads,
+                    [&hits](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " threads " << threads;
+    }
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineInOrder)
+{
+    std::vector<std::size_t> order;
+    const auto caller = std::this_thread::get_id();
+    parallelFor(10, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ZeroAndSingleCountAreInline)
+{
+    int calls = 0;
+    parallelFor(0, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MatchesSerialComputation)
+{
+    // The pool guarantees nothing about order, so a deterministic
+    // per-index computation must land identically regardless of
+    // the thread count.
+    auto compute = [](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < 1000; ++k)
+            acc += double((i * 2654435761u + k) % 97) * 1e-3;
+        return acc;
+    };
+    std::vector<double> serial(64);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        serial[i] = compute(i);
+
+    for (unsigned threads : {2u, 8u}) {
+        std::vector<double> parallel(serial.size(), -1.0);
+        parallelFor(parallel.size(), threads,
+                    [&](std::size_t i) { parallel[i] = compute(i); });
+        EXPECT_EQ(parallel, serial) << "threads " << threads;
+    }
+}
+
+} // namespace
+} // namespace casq
