@@ -25,7 +25,7 @@ struct BenchConfig
     int twirlInstances = 8;   //!< twirled circuit variants
     std::uint64_t seed = 2024;
     double scale = 1.0;       //!< workload scale (depth sweeps)
-    unsigned threads = 1;     //!< ensemble-compilation workers
+    unsigned threads = 1;     //!< fused compile+simulate workers
                               //!< (0 = one per core); results are
                               //!< identical for every value
 

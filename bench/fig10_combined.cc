@@ -14,7 +14,7 @@
 #include "common/table.hh"
 #include "experiments/floquet.hh"
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 using namespace casq;
 
@@ -47,7 +47,9 @@ main(int argc, char **argv)
         available.push_back(curve.second);
     bench::anyStrategyMatches(config, available);
 
-    const Executor executor(backend, NoiseModel::standard());
+    // One engine for every curve: each depth's twirled ensemble
+    // compiles and simulates fused on the engine's pool.
+    SimulationEngine engine(backend, NoiseModel::standard());
     std::vector<Series> series;
     for (const auto &[name, strategy] : curves) {
         if (!config.wantsStrategy(strategy))
@@ -60,13 +62,14 @@ main(int argc, char **argv)
         PassManager pipeline = buildPipeline(compile);
         for (int d : depths) {
             const LayeredCircuit circuit = buildFloquetIdentity(d);
-            const auto ensemble = compileEnsemble(
-                circuit, backend, pipeline, config.twirlInstances,
-                config.seed + 13 * d, config.threads);
-            ExecutionOptions exec;
-            exec.trajectories = config.trajectories;
-            exec.seed = config.seed + d;
-            const RunResult r = executor.run(ensemble, obs, exec);
+            EnsembleRunOptions run;
+            run.instances = config.twirlInstances;
+            run.compileSeed = config.seed + 13 * d;
+            run.trajectories = config.trajectories;
+            run.seed = config.seed + d;
+            run.threads = int(config.threads);
+            const RunResult r =
+                engine.runEnsemble(circuit, pipeline, obs, run);
             s.values.push_back((1.0 + r.means[0] + r.means[1] +
                                 r.means[2]) /
                                4.0);

@@ -17,6 +17,7 @@
 #include "bench_common.hh"
 #include "common/table.hh"
 #include "experiments/ramsey.hh"
+#include "sim/engine.hh"
 
 using namespace casq;
 
@@ -86,7 +87,7 @@ figure4b(const bench::BenchConfig &config)
     ExecutionOptions exec;
     exec.trajectories = config.trajectories;
     exec.seed = config.seed;
-    const Executor executor(backend, NoiseModel::standard());
+    SimulationEngine engine(backend, NoiseModel::standard());
 
     std::vector<double> times, measured, envelope;
     for (int d = 0; d <= 40; d += 2) {
@@ -113,7 +114,7 @@ figure4b(const bench::BenchConfig &config)
         Rng rng(1);
         const ScheduledCircuit sched = compileCircuit(
             circuit, backend, compile, rng);
-        const RunResult result = executor.run(
+        const RunResult result = engine.run(
             sched, {PauliString::single(1, 0, PauliOp::X)},
             {config.trajectories, config.seed, 2});
         times.push_back(tau * 1e-3);

@@ -12,7 +12,7 @@
 #include "common/table.hh"
 #include "experiments/floquet.hh"
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 using namespace casq;
 
@@ -38,7 +38,7 @@ main(int argc, char **argv)
     Series ideal;
     ideal.name = "ideal";
     {
-        const Executor executor(backend, NoiseModel::ideal());
+        SimulationEngine engine(backend, NoiseModel::ideal());
         for (int d : depths) {
             const LayeredCircuit circuit = buildFloquetIsing(6, d);
             const ScheduledCircuit sched = scheduleASAP(
@@ -46,7 +46,7 @@ main(int argc, char **argv)
             ExecutionOptions exec;
             exec.trajectories = 1;
             ideal.values.push_back(
-                executor.run(sched, {obs}, exec).means[0]);
+                engine.run(sched, {obs}, exec).means[0]);
         }
     }
     series.push_back(std::move(ideal));
@@ -56,7 +56,9 @@ main(int argc, char **argv)
         available.push_back(curve.second);
     bench::anyStrategyMatches(config, available);
 
-    const Executor executor(backend, NoiseModel::standard());
+    // One engine across every curve and depth: the fused ensemble
+    // path compiles and simulates on the same pool.
+    SimulationEngine engine(backend, NoiseModel::standard());
     for (const auto &[name, strategy] : curves) {
         if (!config.wantsStrategy(strategy))
             continue;
@@ -70,14 +72,15 @@ main(int argc, char **argv)
         PassManager pipeline = buildPipeline(compile);
         for (int d : depths) {
             const LayeredCircuit circuit = buildFloquetIsing(6, d);
-            const auto ensemble = compileEnsemble(
-                circuit, backend, pipeline, config.twirlInstances,
-                config.seed + 17 * d, config.threads);
-            ExecutionOptions exec;
-            exec.trajectories = config.trajectories;
-            exec.seed = config.seed + d;
+            EnsembleRunOptions run;
+            run.instances = config.twirlInstances;
+            run.compileSeed = config.seed + 17 * d;
+            run.trajectories = config.trajectories;
+            run.seed = config.seed + d;
+            run.threads = int(config.threads);
             s.values.push_back(
-                executor.run(ensemble, {obs}, exec).means[0]);
+                engine.runEnsemble(circuit, pipeline, {obs}, run)
+                    .means[0]);
         }
         series.push_back(std::move(s));
     }

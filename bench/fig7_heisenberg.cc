@@ -15,7 +15,7 @@
 #include "experiments/heisenberg.hh"
 #include "experiments/mitigation.hh"
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 using namespace casq;
 
@@ -42,7 +42,7 @@ main(int argc, char **argv)
     // Ideal reference.
     std::vector<double> ideal;
     {
-        const Executor executor(backend, NoiseModel::ideal());
+        SimulationEngine engine(backend, NoiseModel::ideal());
         for (int d : depths) {
             const LayeredCircuit circuit =
                 buildHeisenbergRingNative(12, d);
@@ -51,7 +51,7 @@ main(int argc, char **argv)
             ExecutionOptions exec;
             exec.trajectories = 1;
             ideal.push_back(
-                executor.run(sched, {obs}, exec).means[0]);
+                engine.run(sched, {obs}, exec).means[0]);
         }
     }
 
@@ -69,7 +69,9 @@ main(int argc, char **argv)
         available.push_back(curve.second);
     bench::anyStrategyMatches(config, available);
 
-    const Executor executor(backend, NoiseModel::standard());
+    // One engine for every curve: compile and simulate fuse on a
+    // single pool per Trotter depth.
+    SimulationEngine engine(backend, NoiseModel::standard());
     for (const auto &[name, strategy] : curves) {
         if (!config.wantsStrategy(strategy))
             continue;
@@ -84,16 +86,18 @@ main(int argc, char **argv)
         for (int d : depths) {
             const LayeredCircuit circuit =
                 buildHeisenbergRingNative(12, d);
-            const auto ensemble = compileEnsemble(
-                circuit, backend, pipeline, config.twirlInstances,
-                config.seed + 31 * d, config.threads);
-            ExecutionOptions exec;
+            EnsembleRunOptions run;
+            run.instances = config.twirlInstances;
+            run.compileSeed = config.seed + 31 * d;
             // The 12-qubit, 180-CNOT circuit is the heaviest bench;
             // scale the trajectory budget down accordingly.
-            exec.trajectories = std::max(32, config.trajectories / 2);
-            exec.seed = config.seed + d;
+            run.trajectories =
+                std::max(32, config.trajectories / 2);
+            run.seed = config.seed + d;
+            run.threads = int(config.threads);
             s.values.push_back(
-                executor.run(ensemble, {obs}, exec).means[0]);
+                engine.runEnsemble(circuit, pipeline, {obs}, run)
+                    .means[0]);
         }
         overheads.emplace_back(
             name, estimateMitigationOverhead(xs, s.values, ideal,

@@ -16,7 +16,7 @@
 #include "common/table.hh"
 #include "experiments/dynamic.hh"
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 using namespace casq;
 
@@ -35,10 +35,13 @@ main(int argc, char **argv)
     backend.pair(1, 2).measureStarkMHz = 0.05;
 
     const LayeredCircuit bell = buildDynamicBell();
-    const Executor executor(backend, NoiseModel::standard());
+    // One engine for the whole tau sweep; identical schedules
+    // (e.g. repeated bare compilations) hit its variant cache.
+    SimulationEngine engine(backend, NoiseModel::standard());
     ExecutionOptions exec;
     exec.trajectories = config.trajectories * 2;
     exec.seed = config.seed;
+    exec.threads = int(config.threads);
 
     auto fidelityWith = [&](Strategy strategy,
                             double assumed_ff_ns) {
@@ -53,7 +56,7 @@ main(int argc, char **argv)
         Rng rng(1);
         const ScheduledCircuit sched =
             compileCircuit(bell, backend, compile, rng);
-        const RunResult result = executor.run(
+        const RunResult result = engine.run(
             sched, bellFidelityObservables(), exec);
         return bellFidelity(result.means);
     };

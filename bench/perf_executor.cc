@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Trajectory-execution throughput: serial vs. pooled vs.
+ * cached-variant (SimulationEngine).
+ *
+ * Three configurations bound the engine's design space:
+ *
+ *  - "serial": one inline worker, cold variant cache -- the
+ *    baseline the pre-engine executor realized with thread chunks.
+ *
+ *  - "pooled": the work-stealing pool at each --threads-list count,
+ *    cold cache; all scaling comes from trajectory parallelism.
+ *
+ *  - "cached": pooled again on a warm variant cache, the repeated
+ *    observable-batch / sweep-revisit workload where CompiledVariant
+ *    construction (timeline + segment noise plans + instruction
+ *    unitaries) amortizes to zero.
+ *
+ * Every configuration's RunResult (means AND stderrs) is
+ * byte-compared against the serial reference before its timing is
+ * reported -- a wrong parallel or cached result fails the bench, so
+ * CI timing runs double as a correctness gate on the engine's
+ * thread-count-invariance contract.  Use --json FILE to append the
+ * numbers to the BENCH_*.json trajectory.
+ *
+ *   $ ./perf_executor --traj 2000 --threads-list 1,2,4,8
+ *   $ ./perf_executor --json BENCH_perf_executor.json
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "passes/pipeline.hh"
+#include "sim/engine.hh"
+
+using namespace casq;
+
+namespace {
+
+struct PerfOptions
+{
+    int trajectories = 2000;
+    int instances = 8;
+    std::size_t qubits = 8;
+    int depth = 12;
+    std::uint64_t seed = 2024;
+    std::vector<unsigned> threadsList{1, 2, 4, 8};
+    std::string jsonPath;
+};
+
+/** One measured configuration. */
+struct Sample
+{
+    std::string config;
+    unsigned threads = 1;
+    bool cached = false;
+    double wallMillis = 0.0;
+    int trajectories = 0;
+
+    double
+    trajectoriesPerSecond() const
+    {
+        return wallMillis > 0.0
+                   ? 1e3 * double(trajectories) / wallMillis
+                   : 0.0;
+    }
+};
+
+void
+usage(const char *prog)
+{
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "  --traj N          trajectory budget (default 2000)\n"
+        << "  --instances N     twirled variants (default 8)\n"
+        << "  --qubits N        chain length (default 8)\n"
+        << "  --depth D         layer pairs (default 12)\n"
+        << "  --seed S          master seed (default 2024)\n"
+        << "  --threads-list L  comma-separated thread counts\n"
+        << "                    (default 1,2,4,8)\n"
+        << "  --json FILE       write machine-readable results\n";
+}
+
+PerfOptions
+parse(int argc, char **argv)
+{
+    PerfOptions options;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (const char *v = value("--traj")) {
+            options.trajectories = std::atoi(v);
+        } else if (const char *v = value("--instances")) {
+            options.instances = std::atoi(v);
+        } else if (const char *v = value("--qubits")) {
+            options.qubits = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--depth")) {
+            options.depth = std::atoi(v);
+        } else if (const char *v = value("--seed")) {
+            options.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--threads-list")) {
+            options.threadsList.clear();
+            std::stringstream ss(v);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                options.threadsList.push_back(
+                    static_cast<unsigned>(std::atoi(item.c_str())));
+        } else if (const char *v = value("--json")) {
+            options.jsonPath = v;
+        } else {
+            std::cerr << "unknown argument '" << argv[i] << "'\n";
+            usage(argv[0]);
+            std::exit(1);
+        }
+    }
+    return options;
+}
+
+double
+wallMillisSince(std::chrono::steady_clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+/** Hard gate: a diverging configuration fails the bench. */
+void
+requireByteIdentical(const RunResult &actual,
+                     const RunResult &expected,
+                     const std::string &config, unsigned threads)
+{
+    const bool same =
+        actual.trajectories == expected.trajectories &&
+        actual.means == expected.means &&
+        actual.stderrs == expected.stderrs;
+    if (!same) {
+        std::cerr << "FAIL: " << config << " threads=" << threads
+                  << " diverged from the serial reference "
+                     "observable estimates\n";
+        std::exit(1);
+    }
+}
+
+void
+report(const std::vector<Sample> &samples, double serial_ms)
+{
+    std::cout << std::left << std::setw(10) << "config"
+              << std::right << std::setw(8) << "threads"
+              << std::setw(8) << "cached" << std::setw(12)
+              << "wall ms" << std::setw(12) << "traj/s"
+              << std::setw(10) << "speedup" << "\n";
+    for (const Sample &s : samples)
+        std::cout << std::left << std::setw(10) << s.config
+                  << std::right << std::setw(8) << s.threads
+                  << std::setw(8) << (s.cached ? "yes" : "no")
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(2) << s.wallMillis
+                  << std::setw(12) << std::setprecision(0)
+                  << s.trajectoriesPerSecond() << std::setw(10)
+                  << std::setprecision(2)
+                  << (s.wallMillis > 0.0 ? serial_ms / s.wallMillis
+                                         : 0.0)
+                  << "\n";
+    std::cout << "\n";
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<Sample> &samples,
+          const PerfOptions &options)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << "{\n  \"bench\": \"perf_executor\",\n"
+        << "  \"qubits\": " << options.qubits << ",\n"
+        << "  \"depth\": " << options.depth << ",\n"
+        << "  \"instances\": " << options.instances << ",\n"
+        << "  \"trajectories\": " << options.trajectories << ",\n"
+        << "  \"samples\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        out << "    {\"config\": \"" << s.config
+            << "\", \"threads\": " << s.threads
+            << ", \"cached\": " << (s.cached ? "true" : "false")
+            << ", \"wall_ms\": " << std::fixed
+            << std::setprecision(3) << s.wallMillis
+            << ", \"trajectories_per_s\": " << std::setprecision(1)
+            << s.trajectoriesPerSecond() << "}"
+            << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const PerfOptions options = parse(argc, argv);
+    Backend backend = makeFakeLinear(options.qubits, 7);
+    for (const auto &edge : backend.coupling().edges())
+        backend.pair(edge.a, edge.b).zzRateMHz = 0.06;
+    const LayeredCircuit logical = bench::syntheticChainWorkload(
+        options.qubits, options.depth, /*idle_layers=*/true);
+    const NoiseModel noise = NoiseModel::standard();
+
+    // The paper's dominant workload shape: a twirled CA-DD ensemble
+    // with one observable per qubit.
+    CompileOptions compile;
+    compile.strategy = Strategy::CaDd;
+    compile.twirl = true;
+    const auto variants =
+        compileEnsemble(logical, backend, compile,
+                        options.instances, options.seed);
+    std::vector<PauliString> obs;
+    for (std::uint32_t q = 0; q < options.qubits; ++q)
+        obs.push_back(
+            PauliString::single(options.qubits, q, PauliOp::Z));
+
+    ExecutionOptions exec;
+    exec.trajectories = options.trajectories;
+    exec.seed = options.seed;
+
+    std::vector<Sample> all;
+
+    // ---------------------------------------------------- serial
+    SimulationEngine serial_engine(backend, noise);
+    exec.threads = 1;
+    exec.cacheVariants = false;
+    auto begin = std::chrono::steady_clock::now();
+    const RunResult reference =
+        serial_engine.run(variants, obs, exec);
+    Sample serial;
+    serial.config = "serial";
+    serial.wallMillis = wallMillisSince(begin);
+    serial.trajectories = reference.trajectories;
+    all.push_back(serial);
+
+    // ---------------------------------------------------- pooled
+    // Fresh engine per thread count: cold cache, cold pool, so the
+    // sample measures pure trajectory parallelism.
+    for (unsigned threads : options.threadsList) {
+        if (threads <= 1)
+            continue;
+        SimulationEngine engine(backend, noise);
+        exec.threads = int(threads);
+        exec.cacheVariants = false;
+        begin = std::chrono::steady_clock::now();
+        const RunResult result = engine.run(variants, obs, exec);
+        Sample s;
+        s.config = "pooled";
+        s.threads = threads;
+        s.wallMillis = wallMillisSince(begin);
+        s.trajectories = result.trajectories;
+        requireByteIdentical(result, reference, s.config, threads);
+        all.push_back(s);
+    }
+
+    // ---------------------------------------------------- cached
+    // Warm the variant cache, then measure the revisit workload
+    // (same schedules, e.g. the next observable batch) at the
+    // largest thread count.
+    {
+        SimulationEngine engine(backend, noise);
+        const unsigned threads = options.threadsList.empty()
+                                     ? 1
+                                     : options.threadsList.back();
+        exec.threads = int(threads);
+        exec.cacheVariants = true;
+        (void)engine.run(variants, obs, exec); // warm-up
+        begin = std::chrono::steady_clock::now();
+        const RunResult result = engine.run(variants, obs, exec);
+        Sample s;
+        s.config = "cached";
+        s.threads = threads;
+        s.cached = true;
+        s.wallMillis = wallMillisSince(begin);
+        s.trajectories = result.trajectories;
+        requireByteIdentical(result, reference, s.config, threads);
+        if (engine.variantCacheHits() <
+            std::size_t(options.instances)) {
+            std::cerr << "FAIL: cached configuration missed the "
+                         "variant cache\n";
+            return 1;
+        }
+        all.push_back(s);
+    }
+
+    report(all, serial.wallMillis);
+    if (!options.jsonPath.empty())
+        writeJson(options.jsonPath, all, options);
+    return 0;
+}

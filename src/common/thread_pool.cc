@@ -99,8 +99,7 @@ void
 parallelFor(std::size_t count, unsigned threads,
             const std::function<void(std::size_t)> &body)
 {
-    if (threads == 0)
-        threads = ThreadPool::hardwareThreads();
+    threads = ThreadPool::resolveThreads(threads);
     if (threads <= 1 || count <= 1) {
         for (std::size_t i = 0; i < count; ++i)
             body(i);

@@ -55,6 +55,33 @@ class ThreadPool
     static unsigned hardwareThreads();
 
     /**
+     * Shared thread-count convention of every options struct
+     * (ExecutionOptions.threads, EnsembleOptions.threads, ...):
+     * 0 means one worker per hardware thread, any other value is
+     * taken literally (oversubscription is allowed -- results never
+     * depend on the count, only throughput does).
+     */
+    static unsigned resolveThreads(unsigned requested)
+    {
+        return requested == 0 ? hardwareThreads() : requested;
+    }
+
+    /**
+     * Resolve the two knobs that can drive one fused pool (a
+     * compile-era thread argument plus ExecutionOptions.threads):
+     * whichever asks for more workers wins.  Negative exec values
+     * are treated as 0.
+     */
+    static unsigned
+    resolveThreads(unsigned compile_requested, int exec_requested)
+    {
+        const unsigned a = resolveThreads(compile_requested);
+        const unsigned b = resolveThreads(
+            exec_requested < 0 ? 0u : unsigned(exec_requested));
+        return a > b ? a : b;
+    }
+
+    /**
      * Enqueue a task.  Tasks must not throw (casq reports internal
      * errors via casq_panic, which aborts); an escaping exception
      * terminates the process.

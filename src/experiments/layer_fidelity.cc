@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/statistics.hh"
+#include "common/thread_pool.hh"
 #include "pauli/clifford.hh"
 
 namespace casq {
@@ -143,7 +144,13 @@ measureLayerFidelity(const LayerSpec &spec, const Backend &backend,
 {
     const std::vector<LayerUnit> units =
         partitionUnits(spec, backend);
-    const Executor executor(backend, noise);
+
+    // One engine for the whole protocol: its pool outlives every
+    // (sample, depth) point and its variant cache serves any
+    // schedule the sweep revisits.
+    SimulationEngine engine(backend, noise);
+    const unsigned pool_threads =
+        ThreadPool::resolveThreads(options.threads, exec.threads);
 
     // One pipeline reused across every Pauli sample and depth.
     PassManager pipeline = buildPipeline(compile);
@@ -187,11 +194,15 @@ measureLayerFidelity(const LayerSpec &spec, const Backend &backend,
                 signs.push_back(sign);
             }
 
-            const auto ensemble = compileEnsemble(
-                circuit, backend, pipeline, options.twirlInstances,
-                exec.seed + 13 * r + 131 * depth, options.threads);
-            const RunResult result =
-                executor.run(ensemble, observables, exec);
+            EnsembleRunOptions run;
+            run.instances = options.twirlInstances;
+            run.compileSeed = exec.seed + 13 * r + 131 * depth;
+            run.trajectories = exec.trajectories;
+            run.seed = exec.seed;
+            run.threads = int(pool_threads);
+            run.cacheVariants = exec.cacheVariants;
+            const RunResult result = engine.runEnsemble(
+                circuit, pipeline, observables, run);
             for (std::size_t u = 0; u < units.size(); ++u)
                 sums[u][di] += signs[u] * result.means[u];
         }

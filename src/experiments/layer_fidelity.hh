@@ -16,7 +16,7 @@
 #define CASQ_EXPERIMENTS_LAYER_FIDELITY_HH
 
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 namespace casq {
 
@@ -61,7 +61,11 @@ struct LayerFidelityOptions
     int pauliSamples = 6; //!< random Pauli settings per unit
     int twirlInstances = 8;
 
-    /** Ensemble-compilation workers (1 = inline, 0 = per core). */
+    /**
+     * Workers of the fused compile+simulate pool (1 = inline,
+     * 0 = one per core); the protocol also honours exec.threads
+     * and uses whichever asks for more.  Never changes results.
+     */
     unsigned threads = 1;
 };
 

@@ -1,8 +1,10 @@
 #include "experiments/ramsey.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace casq {
 
@@ -46,21 +48,29 @@ runRamsey(const ContextBuilder &builder,
           const ExecutionOptions &exec, int twirl_instances,
           unsigned threads)
 {
-    const Executor executor(backend, noise);
+    SimulationEngine engine(backend, noise);
     const std::vector<PauliString> obs =
         plusStateObservables(backend.numQubits(), probes);
 
     // One pipeline for the whole depth sweep: pass-internal caches
-    // (twirl conjugation tables) are built once and reused.
+    // (twirl conjugation tables) are built once and reused.  The
+    // engine fuses compilation into trajectory execution per depth,
+    // so no schedule vector is materialized between the stages.
     PassManager pipeline = buildPipeline(compile);
 
     std::vector<RamseyPoint> points;
     for (int depth : depths) {
         const LayeredCircuit layered = builder(depth);
-        const auto ensemble = compileEnsemble(
-            layered, backend, pipeline, twirl_instances,
-            exec.seed + std::uint64_t(depth) * 977, threads);
-        const RunResult result = executor.run(ensemble, obs, exec);
+        EnsembleRunOptions opts;
+        opts.instances = twirl_instances;
+        opts.compileSeed = exec.seed + std::uint64_t(depth) * 977;
+        opts.trajectories = exec.trajectories;
+        opts.seed = exec.seed;
+        opts.threads =
+            int(ThreadPool::resolveThreads(threads, exec.threads));
+        opts.cacheVariants = exec.cacheVariants;
+        const RunResult result =
+            engine.runEnsemble(layered, pipeline, obs, opts);
 
         RamseyPoint point;
         point.depth = depth;
@@ -162,16 +172,22 @@ runDetuningScan(const ContextBuilder &builder, std::uint32_t probe,
                 const std::vector<double> &frequencies_mhz,
                 const ExecutionOptions &exec)
 {
-    const Executor executor(backend, noise);
+    SimulationEngine engine(backend, noise);
     std::vector<PauliString> obs{
         PauliString::single(backend.numQubits(), probe, PauliOp::X),
         PauliString::single(backend.numQubits(), probe, PauliOp::Y)};
 
     PassManager pipeline = buildPipeline(compile);
     const LayeredCircuit layered = builder(depth);
-    const auto ensemble = compileEnsemble(layered, backend, pipeline,
-                                          4, exec.seed);
-    const RunResult result = executor.run(ensemble, obs, exec);
+    EnsembleRunOptions opts;
+    opts.instances = 4;
+    opts.compileSeed = exec.seed;
+    opts.trajectories = exec.trajectories;
+    opts.seed = exec.seed;
+    opts.threads = int(ThreadPool::resolveThreads(1, exec.threads));
+    opts.cacheVariants = exec.cacheVariants;
+    const RunResult result =
+        engine.runEnsemble(layered, pipeline, obs, opts);
     const double x = result.means[0];
     const double y = result.means[1];
 

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "passes/pipeline.hh"
-#include "sim/executor.hh"
+#include "sim/engine.hh"
 
 namespace casq {
 
@@ -34,9 +34,11 @@ struct RamseyPoint
 /**
  * Run the Ramsey protocol: compile builder(d) under the options,
  * execute, and convert the X-string expectations on the probe
- * qubits into the |+...+> overlap.  `threads` workers compile each
- * depth's twirled ensemble (1 = inline, 0 = one per core) without
- * changing any result.
+ * qubits into the |+...+> overlap.  Each depth runs through
+ * SimulationEngine's fused compile->simulate ensemble path; the
+ * pool serves whichever of `threads` (compile-era knob, kept for
+ * compatibility) and exec.threads asks for more workers (0 = one
+ * per core).  Results are bit-identical for every thread count.
  */
 std::vector<RamseyPoint> runRamsey(
     const ContextBuilder &builder,

@@ -130,16 +130,20 @@ PassManager::compile(const LayeredCircuit &logical,
     return packageResult(context, std::move(metrics));
 }
 
-EnsembleResult
-PassManager::runEnsemble(const LayeredCircuit &logical,
-                         const Backend &backend,
-                         const EnsembleOptions &options)
+EnsemblePlan
+PassManager::planEnsemble(const LayeredCircuit &logical,
+                          const Backend &backend,
+                          const EnsembleOptions &options)
 {
-    const auto wall_begin = Clock::now();
     const int count = stochastic() ? options.instances : 1;
     casq_assert(count >= 1, "need at least one instance");
 
-    EnsembleResult out;
+    EnsemblePlan plan;
+    plan._manager = this;
+    plan._logical = &logical;
+    plan._backend = &backend;
+    plan._master = Rng(options.seed);
+    plan._count = count;
 
     // Run the deterministic prefix once; every instance forks its
     // context from this snapshot.  Prefix passes never touch the
@@ -148,53 +152,71 @@ PassManager::runEnsemble(const LayeredCircuit &logical,
     // would have produced.
     const std::size_t prefix =
         options.prefixCache ? stochasticPrefixLength() : 0;
-    Rng prefix_rng(options.seed);
-    std::optional<PassContext> snapshot;
     if (prefix > 0) {
-        snapshot.emplace(logical, backend, prefix_rng);
-        out.prefixMetrics = runRange(*snapshot, 0, prefix);
-        out.prefixLength = prefix;
+        plan._prefixRng = std::make_unique<Rng>(options.seed);
+        plan._snapshot.emplace(logical, backend, *plan._prefixRng);
+        plan._prefixMetrics = runRange(*plan._snapshot, 0, prefix);
+        plan._prefixLength = prefix;
     }
+    return plan;
+}
 
-    const Rng master(options.seed);
+CompilationResult
+EnsemblePlan::compileInstance(std::size_t k) const
+{
+    casq_assert(_manager != nullptr && k < std::size_t(_count),
+                "instance ", k, " out of range for a plan of ",
+                _count);
+    // Matches the historical serial derivation so ensembles stay
+    // reproducible against pinned seed outputs.
+    Rng rng = _master.derive(std::uint64_t(k) + 7001);
+    if (_prefixLength > 0) {
+        PassContext context(*_snapshot, rng);
+        std::vector<PassMetric> metrics = _prefixMetrics;
+        auto suffix = _manager->runRange(context, _prefixLength,
+                                         _manager->size());
+        metrics.insert(metrics.end(),
+                       std::make_move_iterator(suffix.begin()),
+                       std::make_move_iterator(suffix.end()));
+        return PassManager::packageResult(context,
+                                          std::move(metrics));
+    }
+    PassContext context(*_logical, *_backend, rng);
+    return PassManager::packageResult(
+        context,
+        _manager->runRange(context, 0, _manager->size()));
+}
+
+EnsembleResult
+PassManager::runEnsemble(const LayeredCircuit &logical,
+                         const Backend &backend,
+                         const EnsembleOptions &options)
+{
+    const auto wall_begin = Clock::now();
+    const EnsemblePlan plan =
+        planEnsemble(logical, backend, options);
+    const int count = plan.instanceCount();
+
+    EnsembleResult out;
+    out.prefixLength = plan.prefixLength();
+    out.prefixMetrics = plan.prefixMetrics();
     out.instances.resize(count);
-    const auto compileInstance = [&](std::size_t k) {
-        // Matches the historical serial derivation so ensembles
-        // stay reproducible against pinned seed outputs.
-        Rng rng = master.derive(std::uint64_t(k) + 7001);
-        if (prefix > 0) {
-            PassContext context(*snapshot, rng);
-            std::vector<PassMetric> metrics = out.prefixMetrics;
-            auto suffix = runRange(context, prefix, _passes.size());
-            metrics.insert(
-                metrics.end(),
-                std::make_move_iterator(suffix.begin()),
-                std::make_move_iterator(suffix.end()));
-            out.instances[k] =
-                packageResult(context, std::move(metrics));
-        } else {
-            PassContext context(logical, backend, rng);
-            out.instances[k] = packageResult(
-                context, runRange(context, 0, _passes.size()));
-        }
-    };
 
-    const unsigned threads =
-        std::min<std::size_t>(options.threads == 0
-                                  ? ThreadPool::hardwareThreads()
-                                  : options.threads,
-                              std::size_t(count));
+    const unsigned threads = std::min<std::size_t>(
+        ThreadPool::resolveThreads(options.threads),
+        std::size_t(count));
     if (threads <= 1) {
         for (int k = 0; k < count; ++k)
-            compileInstance(std::size_t(k));
+            out.instances[k] = plan.compileInstance(std::size_t(k));
     } else {
         // The pool outlives the call so a sweep of ensembles pays
         // thread spawn/teardown once, not once per runEnsemble.
         if (!_pool || _pool->threadCount() != threads)
             _pool = std::make_unique<ThreadPool>(threads);
         for (int k = 0; k < count; ++k)
-            _pool->submit([&compileInstance, k] {
-                compileInstance(std::size_t(k));
+            _pool->submit([&plan, &out, k] {
+                out.instances[k] =
+                    plan.compileInstance(std::size_t(k));
             });
         _pool->wait();
     }

@@ -22,6 +22,7 @@
 #define CASQ_PASSES_PASS_MANAGER_HH
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "passes/pass.hh"
@@ -105,6 +106,69 @@ struct EnsembleResult
 
     /** End-to-end wall-clock time of the ensemble compilation. */
     double wallMillis = 0.0;
+};
+
+class PassManager;
+
+/**
+ * A prepared ensemble compilation: the deterministic pass prefix has
+ * already run (once) and each instance can be compiled on demand
+ * with compileInstance(k).  This is the streaming interface behind
+ * PassManager::runEnsemble() -- consumers that want to *do*
+ * something with each instance as soon as it exists (e.g.
+ * SimulationEngine's fused compile->simulate pipeline) call
+ * compileInstance from their own worker tasks instead of waiting
+ * for a materialized std::vector of schedules.
+ *
+ * compileInstance(k) is safe to call concurrently for distinct k
+ * (same contract as the runEnsemble worker tasks).  The plan
+ * borrows the manager, logical circuit, and backend passed to
+ * planEnsemble(); all three must outlive it.
+ */
+class EnsemblePlan
+{
+  public:
+    EnsemblePlan(EnsemblePlan &&) noexcept = default;
+    EnsemblePlan(const EnsemblePlan &) = delete;
+    EnsemblePlan &operator=(const EnsemblePlan &) = delete;
+    EnsemblePlan &operator=(EnsemblePlan &&) = delete;
+
+    /** Instances to compile (1 for deterministic pipelines). */
+    int instanceCount() const { return _count; }
+
+    /** Passes served from the shared prefix snapshot. */
+    std::size_t prefixLength() const { return _prefixLength; }
+
+    /** Timings of the one-time prefix run. */
+    const std::vector<PassMetric> &prefixMetrics() const
+    {
+        return _prefixMetrics;
+    }
+
+    /**
+     * Compile instance k.  Bit-identical to the serial reference:
+     * instance k draws from the RNG stream derived as
+     * (seed, k + 7001) and its metrics keep one entry per pipeline
+     * pass (prefix timings replicated).
+     */
+    CompilationResult compileInstance(std::size_t k) const;
+
+  private:
+    friend class PassManager;
+
+    EnsemblePlan() = default;
+
+    PassManager *_manager = nullptr;
+    const LayeredCircuit *_logical = nullptr;
+    const Backend *_backend = nullptr;
+    Rng _master;
+    int _count = 1;
+    std::size_t _prefixLength = 0;
+    std::vector<PassMetric> _prefixMetrics;
+
+    /** Heap-pinned so the snapshot's Rng& survives plan moves. */
+    std::unique_ptr<Rng> _prefixRng;
+    std::optional<PassContext> _snapshot;
 };
 
 /** An ordered pass pipeline. */
@@ -192,7 +256,22 @@ class PassManager
                                const Backend &backend,
                                const EnsembleOptions &options);
 
+    /**
+     * Prepare an ensemble without compiling the instances: runs the
+     * deterministic prefix (when options.prefixCache allows) and
+     * returns a plan whose compileInstance(k) produces each
+     * instance on demand.  runEnsemble() is planEnsemble() plus a
+     * worker loop; engines that fuse compilation into downstream
+     * work consume the plan directly.  options.threads is ignored
+     * here -- the consumer owns the workers.
+     */
+    EnsemblePlan planEnsemble(const LayeredCircuit &logical,
+                              const Backend &backend,
+                              const EnsembleOptions &options);
+
   private:
+    friend class EnsemblePlan;
+
     std::vector<std::unique_ptr<Pass>> _passes;
     std::unique_ptr<ThreadPool> _pool; //!< lazy, reused across runs
 

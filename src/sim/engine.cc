@@ -1,0 +1,793 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "circuit/unitary.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/statevector.hh"
+#include "sim/timeline.hh"
+
+namespace casq {
+
+namespace detail {
+
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+/** MHz * ns -> radians. */
+double
+angleOf(double rate_mhz, double tau_ns)
+{
+    return kTwoPi * rate_mhz * tau_ns * 1e-3;
+}
+
+} // namespace
+
+/** Stochastic per-qubit hook of a segment. */
+struct StochasticQubit
+{
+    std::uint32_t qubit;
+    std::int8_t sign;
+    double tau;
+};
+
+/** Precomputed noise plan of one timeline segment. */
+struct SegmentPlan
+{
+    std::vector<QubitAngle> detZ;
+    std::vector<PairAngle> detZz;
+    std::vector<StochasticQubit> stoch;
+};
+
+/** A variant compiled for repeated trajectory execution. */
+struct CompiledVariant
+{
+    Timeline timeline;
+    std::vector<SegmentPlan> plans;
+    std::vector<CMat> unitaries; //!< per scheduled instruction
+    std::uint64_t fingerprint = 0;
+
+    CompiledVariant(const ScheduledCircuit &circuit,
+                    const Backend &backend, const NoiseModel &noise);
+};
+
+CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
+                                 const Backend &backend,
+                                 const NoiseModel &noise)
+    : timeline(circuit)
+{
+    const auto &insts = timeline.circuit().instructions();
+    unitaries.resize(insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (opIsUnitary(insts[i].inst.op) &&
+            insts[i].inst.op != Op::I) {
+            unitaries[i] = instructionUnitary(insts[i].inst);
+        }
+    }
+
+    plans.resize(timeline.segments().size());
+    for (std::size_t s = 0; s < plans.size(); ++s) {
+        const Segment &seg = timeline.segments()[s];
+        SegmentPlan &plan = plans[s];
+        const double tau = seg.duration();
+
+        // Coherent always-on ZZ in the toggling frame (Eq. 1/2).
+        if (noise.coherentZz) {
+            for (const auto &[pair, props] : backend.pairs()) {
+                if (props.zzRateMHz <= 0.0)
+                    continue;
+                const SegmentQubit &sa = seg.qubits[pair.a];
+                const SegmentQubit &sb = seg.qubits[pair.b];
+                // Intra-gate coupling is part of the calibrated
+                // gate and not an error.
+                if (sa.instIndex >= 0 &&
+                    sa.instIndex == sb.instIndex) {
+                    continue;
+                }
+                const double theta = angleOf(props.zzRateMHz, tau) *
+                                     noise.coherentScale;
+                const double s_a = sa.frameSign;
+                const double s_b = sb.frameSign;
+                plan.detZ.push_back(
+                    QubitAngle{pair.a, -theta * s_a});
+                plan.detZ.push_back(
+                    QubitAngle{pair.b, -theta * s_b});
+                plan.detZz.push_back(
+                    PairAngle{pair.a, pair.b, theta * s_a * s_b});
+            }
+        }
+
+        // AC Stark shift on spectators of driven qubits (Fig. 4a).
+        if (noise.starkShift) {
+            for (const auto &[pair, props] : backend.pairs()) {
+                if (props.starkShiftMHz <= 0.0 || props.nextNearest)
+                    continue;
+                const SegmentQubit &sa = seg.qubits[pair.a];
+                const SegmentQubit &sb = seg.qubits[pair.b];
+                const double theta =
+                    angleOf(props.starkShiftMHz, tau) *
+                    noise.coherentScale;
+                if (sa.driven && !sb.driven) {
+                    plan.detZ.push_back(QubitAngle{
+                        pair.b, theta * sb.frameSign});
+                }
+                if (sb.driven && !sa.driven) {
+                    plan.detZ.push_back(QubitAngle{
+                        pair.a, theta * sa.frameSign});
+                }
+            }
+        }
+
+        // Readout-induced Stark shift on spectators of a measured
+        // qubit (paper Sec. V D context).
+        if (noise.measurementStark) {
+            for (const auto &[pair, props] : backend.pairs()) {
+                if (props.measureStarkMHz <= 0.0 ||
+                    props.nextNearest) {
+                    continue;
+                }
+                const SegmentQubit &sa = seg.qubits[pair.a];
+                const SegmentQubit &sb = seg.qubits[pair.b];
+                const double theta =
+                    angleOf(props.measureStarkMHz, tau) *
+                    noise.coherentScale;
+                if (sa.role == Role::Measuring &&
+                    sb.role != Role::Measuring && !sb.driven) {
+                    plan.detZ.push_back(QubitAngle{
+                        pair.b, theta * sb.frameSign});
+                }
+                if (sb.role == Role::Measuring &&
+                    sa.role != Role::Measuring && !sa.driven) {
+                    plan.detZ.push_back(QubitAngle{
+                        pair.a, theta * sa.frameSign});
+                }
+            }
+        }
+
+        // Stochastic dephasing hooks (charge parity, quasi-static,
+        // T2 jumps) for every qubit.
+        if (noise.chargeParity || noise.quasiStatic ||
+            noise.whiteDephasing) {
+            for (std::uint32_t q = 0; q < seg.qubits.size(); ++q) {
+                plan.stoch.push_back(StochasticQubit{
+                    q, seg.qubits[q].frameSign, tau});
+            }
+        }
+
+        // Merge duplicate per-qubit entries to shrink the hot loop.
+        if (!plan.detZ.empty()) {
+            std::vector<double> merged(seg.qubits.size(), 0.0);
+            for (const auto &za : plan.detZ)
+                merged[za.qubit] += za.theta;
+            plan.detZ.clear();
+            for (std::uint32_t q = 0; q < merged.size(); ++q)
+                if (merged[q] != 0.0)
+                    plan.detZ.push_back(QubitAngle{q, merged[q]});
+        }
+    }
+}
+
+} // namespace detail
+
+namespace {
+
+using detail::CompiledVariant;
+using detail::SegmentPlan;
+using detail::angleOf;
+
+// ------------------------------------------------ circuit identity
+
+std::uint64_t
+mixHash(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+/** 64-bit identity fingerprint of a schedule (collisions are
+ *  resolved by sameSchedule below, never trusted blindly). */
+std::uint64_t
+scheduleFingerprint(const ScheduledCircuit &circuit)
+{
+    std::uint64_t h = 0x243F6A8885A308D3ull;
+    h = mixHash(h, circuit.numQubits());
+    h = mixHash(h, circuit.numClbits());
+    for (const TimedInstruction &timed : circuit.instructions()) {
+        const Instruction &inst = timed.inst;
+        h = mixHash(h, std::uint64_t(inst.op));
+        for (std::uint32_t q : inst.qubits)
+            h = mixHash(h, q);
+        for (double p : inst.params)
+            h = mixHash(h, doubleBits(p));
+        h = mixHash(h, std::uint64_t(std::int64_t(inst.cbit)));
+        h = mixHash(h, std::uint64_t(std::int64_t(inst.condBit)));
+        h = mixHash(h,
+                    std::uint64_t(std::int64_t(inst.condValue)));
+        h = mixHash(h, std::uint64_t(inst.tag));
+        h = mixHash(h, doubleBits(timed.start));
+        h = mixHash(h, doubleBits(timed.duration));
+    }
+    return h;
+}
+
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    return a.op == b.op && a.qubits == b.qubits &&
+           a.params == b.params && a.cbit == b.cbit &&
+           a.condBit == b.condBit && a.condValue == b.condValue &&
+           a.tag == b.tag;
+}
+
+/** Exact schedule equality (the cache's real key). */
+bool
+sameSchedule(const ScheduledCircuit &a, const ScheduledCircuit &b)
+{
+    if (a.numQubits() != b.numQubits() ||
+        a.numClbits() != b.numClbits() ||
+        a.instructions().size() != b.instructions().size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.instructions().size(); ++i) {
+        const TimedInstruction &ta = a.instructions()[i];
+        const TimedInstruction &tb = b.instructions()[i];
+        if (ta.start != tb.start || ta.duration != tb.duration ||
+            !sameInstruction(ta.inst, tb.inst)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------ trajectory state
+
+/** State of one trajectory run, reused across trajectories. */
+class TrajectoryRunner
+{
+  public:
+    TrajectoryRunner(const Backend &backend, const NoiseModel &noise,
+                     std::size_t num_qubits, std::size_t num_clbits)
+        : _backend(backend),
+          _noise(noise),
+          _state(num_qubits),
+          _clbits(num_clbits, 0),
+          _pendingT1(num_qubits, 0.0),
+          _cpSign(num_qubits, 1),
+          _detuning(num_qubits, 0.0),
+          _zBuffer()
+    {
+    }
+
+    void
+    run(const CompiledVariant &variant, Rng &rng,
+        const std::vector<PauliString> &observables, double *out)
+    {
+        _state.reset();
+        std::fill(_clbits.begin(), _clbits.end(), 0);
+        std::fill(_pendingT1.begin(), _pendingT1.end(), 0.0);
+        sampleShotNoise(rng);
+
+        const auto &segments = variant.timeline.segments();
+        const auto &insts =
+            variant.timeline.circuit().instructions();
+        for (const auto &event : variant.timeline.events()) {
+            if (event.kind == TimelineEvent::Kind::Segment) {
+                applySegment(variant.plans[event.index],
+                             segments[event.index], rng);
+            } else {
+                fire(insts[event.index],
+                     variant.unitaries[event.index], rng);
+            }
+        }
+        flushAllT1(rng);
+        for (std::size_t k = 0; k < observables.size(); ++k)
+            out[k] = _state.expectation(observables[k]);
+    }
+
+  private:
+    const Backend &_backend;
+    const NoiseModel &_noise;
+    Statevector _state;
+    std::vector<int> _clbits;
+    std::vector<double> _pendingT1;
+    std::vector<int> _cpSign;
+    std::vector<double> _detuning;
+    std::vector<QubitAngle> _zBuffer;
+
+    void
+    sampleShotNoise(Rng &rng)
+    {
+        for (std::uint32_t q = 0; q < _state.numQubits(); ++q) {
+            const QubitProperties &props = _backend.qubit(q);
+            _cpSign[q] = _noise.chargeParity ? rng.randomSign() : 1;
+            _detuning[q] =
+                _noise.quasiStatic
+                    ? rng.normal(0.0, props.quasiStaticSigmaMHz)
+                    : 0.0;
+        }
+    }
+
+    double
+    dephasingJumpProb(const QubitProperties &props, double tau) const
+    {
+        // Pure-dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+        double rate = 1.0 / props.t2Ns;
+        if (_noise.amplitudeDamping && props.t1Ns > 0.0)
+            rate -= 0.5 / props.t1Ns;
+        if (rate <= 0.0)
+            return 0.0;
+        return 0.5 * (1.0 - std::exp(-tau * rate));
+    }
+
+    void
+    applySegment(const SegmentPlan &plan, const Segment &seg,
+                 Rng &rng)
+    {
+        // Convention: a Hamiltonian term (nu/2) Z acting for tau
+        // gives the Rz angle theta = 2 pi nu tau (angleOf), which
+        // is what applyPhases consumes.
+        _zBuffer.assign(plan.detZ.begin(), plan.detZ.end());
+        for (const auto &sq : plan.stoch) {
+            const QubitProperties &props = _backend.qubit(sq.qubit);
+            double theta = 0.0;
+            if (_noise.chargeParity &&
+                props.chargeParityMHz != 0.0) {
+                theta += angleOf(_cpSign[sq.qubit] *
+                                     props.chargeParityMHz,
+                                 sq.tau);
+            }
+            if (_noise.quasiStatic && _detuning[sq.qubit] != 0.0)
+                theta += angleOf(_detuning[sq.qubit], sq.tau);
+            theta *= sq.sign;
+            if (_noise.whiteDephasing &&
+                rng.bernoulli(dephasingJumpProb(props, sq.tau))) {
+                // Rz(pi) is a Z flip up to global phase; jump signs
+                // are frame-independent.
+                theta += 3.14159265358979323846;
+            }
+            if (theta != 0.0)
+                _zBuffer.push_back(QubitAngle{sq.qubit, theta});
+        }
+        _state.applyPhases(_zBuffer, plan.detZz);
+
+        if (_noise.amplitudeDamping) {
+            for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
+                _pendingT1[q] += seg.duration();
+        }
+    }
+
+    void
+    flushT1(std::uint32_t q, Rng &rng)
+    {
+        if (!_noise.amplitudeDamping || _pendingT1[q] <= 0.0)
+            return;
+        _state.amplitudeDamp(q, _pendingT1[q],
+                             _backend.qubit(q).t1Ns, rng);
+        _pendingT1[q] = 0.0;
+    }
+
+    void
+    flushAllT1(Rng &rng)
+    {
+        for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
+            flushT1(q, rng);
+    }
+
+    void
+    applyDepolarizing(const Instruction &inst, double duration,
+                      Rng &rng)
+    {
+        if (!_noise.gateDepolarizing)
+            return;
+        double p = 0.0;
+        if (inst.qubits.size() == 1) {
+            p = _backend.qubit(inst.qubits[0]).gateError1q;
+        } else if (_backend.hasPair(inst.qubits[0],
+                                    inst.qubits[1])) {
+            p = _backend.pair(inst.qubits[0], inst.qubits[1])
+                    .gateError2q;
+            if (inst.op == Op::Can)
+                p *= 3.0; // three-CX-equivalent block
+            if (inst.op == Op::RZZ) {
+                // Pulse stretching: a short rzz pulse carries
+                // proportionally less error than a full echoed
+                // gate (paper Sec. IV B).
+                p *= std::min(
+                    1.0,
+                    duration / _backend.durations().twoQubit);
+            }
+        } else {
+            p = 7e-3;
+        }
+        if (!rng.bernoulli(p))
+            return;
+        if (inst.qubits.size() == 1) {
+            const int k = 1 + int(rng.uniformInt(3));
+            _state.applyPauliOp(PauliOp(k), inst.qubits[0]);
+        } else {
+            const int k = 1 + int(rng.uniformInt(15));
+            const int k0 = k & 3, k1 = (k >> 2) & 3;
+            if (k0)
+                _state.applyPauliOp(PauliOp(k0), inst.qubits[0]);
+            if (k1)
+                _state.applyPauliOp(PauliOp(k1), inst.qubits[1]);
+        }
+    }
+
+    void
+    fire(const TimedInstruction &timed, const CMat &unitary, Rng &rng)
+    {
+        const Instruction &inst = timed.inst;
+        if (inst.isConditional() &&
+            _clbits[inst.condBit] != inst.condValue) {
+            return;
+        }
+        switch (inst.op) {
+          case Op::Measure: {
+            const std::uint32_t q = inst.qubits[0];
+            flushT1(q, rng);
+            int outcome = _state.measure(q, rng);
+            if (_noise.readoutError &&
+                rng.bernoulli(_backend.qubit(q).readoutError)) {
+                outcome ^= 1;
+            }
+            _clbits[inst.cbit] = outcome;
+            return;
+          }
+          case Op::Reset: {
+            const std::uint32_t q = inst.qubits[0];
+            flushT1(q, rng);
+            if (_state.measure(q, rng) == 1)
+                _state.applyGate1q(gateUnitary(Op::X), q);
+            return;
+          }
+          case Op::I:
+            return;
+          default:
+            break;
+        }
+        // Virtual diagonal gates: exact, free, no T1 flush needed
+        // (they commute with the damping Kraus operators).
+        if (opIsVirtual(inst.op)) {
+            if (inst.op == Op::RZ)
+                _state.applyRz(inst.qubits[0], inst.params[0]);
+            else
+                _state.applyGate1q(unitary, inst.qubits[0]);
+            return;
+        }
+        for (auto q : inst.qubits)
+            flushT1(q, rng);
+        if (inst.qubits.size() == 1)
+            _state.applyGate1q(unitary, inst.qubits[0]);
+        else
+            _state.applyGate2q(unitary, inst.qubits[0],
+                               inst.qubits[1]);
+        applyDepolarizing(inst, timed.duration, rng);
+    }
+};
+
+// ------------------------------------------- fixed-order reduction
+
+/** Pairwise (cascade) sum of transform(v[lo..hi)) in index order. */
+template <typename Transform>
+double
+pairwiseSum(const double *v, std::size_t lo, std::size_t hi,
+            const Transform &transform)
+{
+    if (hi - lo <= 8) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            sum += transform(v[i]);
+        return sum;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    return pairwiseSum(v, lo, mid, transform) +
+           pairwiseSum(v, mid, hi, transform);
+}
+
+/** Trajectory-block boundaries: `blocks` near-equal ranges. */
+std::vector<std::pair<int, int>>
+splitRange(int total, int blocks)
+{
+    std::vector<std::pair<int, int>> ranges;
+    blocks = std::max(1, std::min(blocks, total));
+    const int base = total / blocks;
+    const int extra = total % blocks;
+    int begin = 0;
+    for (int b = 0; b < blocks; ++b) {
+        const int size = base + (b < extra ? 1 : 0);
+        ranges.emplace_back(begin, begin + size);
+        begin += size;
+    }
+    return ranges;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- engine
+
+SimulationEngine::SimulationEngine(const Backend &backend,
+                                   const NoiseModel &noise)
+    : _backend(backend), _noise(noise)
+{
+}
+
+SimulationEngine::~SimulationEngine() = default;
+
+std::shared_ptr<const CompiledVariant>
+SimulationEngine::compiledVariant(const ScheduledCircuit &circuit,
+                                  bool use_cache)
+{
+    casq_assert(circuit.numQubits() == _backend.numQubits(),
+                "circuit width ", circuit.numQubits(),
+                " != backend width ", _backend.numQubits());
+    const std::uint64_t print = scheduleFingerprint(circuit);
+    if (use_cache) {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        const auto it = _cache.find(print);
+        if (it != _cache.end()) {
+            for (const auto &entry : it->second) {
+                if (sameSchedule(entry->timeline.circuit(),
+                                 circuit)) {
+                    ++_cacheHits;
+                    return entry;
+                }
+            }
+        }
+    }
+    auto variant = std::make_shared<CompiledVariant>(
+        circuit, _backend, _noise);
+    variant->fingerprint = print;
+    if (use_cache) {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        ++_cacheMisses;
+        if (_cacheCount >= kMaxCachedVariants) {
+            _cache.clear();
+            _cacheCount = 0;
+        }
+        auto &bucket = _cache[print];
+        // A racing worker may have compiled the same schedule; keep
+        // the first entry so later hits share one plan.
+        for (const auto &entry : bucket)
+            if (sameSchedule(entry->timeline.circuit(), circuit))
+                return entry;
+        bucket.push_back(variant);
+        ++_cacheCount;
+    }
+    return variant;
+}
+
+ThreadPool &
+SimulationEngine::pool(unsigned threads)
+{
+    if (!_pool || _pool->threadCount() != threads)
+        _pool = std::make_unique<ThreadPool>(threads);
+    return *_pool;
+}
+
+RunResult
+SimulationEngine::reduceSlots(std::vector<double> slots,
+                              std::size_t trajectories,
+                              std::size_t observables) const
+{
+    RunResult result;
+    result.trajectories = int(trajectories);
+    result.means.resize(observables);
+    result.stderrs.resize(observables);
+    const double n = double(trajectories);
+    std::vector<double> column(trajectories);
+    for (std::size_t k = 0; k < observables; ++k) {
+        for (std::size_t t = 0; t < trajectories; ++t)
+            column[t] = slots[t * observables + k];
+        const double sum = pairwiseSum(
+            column.data(), 0, trajectories,
+            [](double v) { return v; });
+        const double sumsq = pairwiseSum(
+            column.data(), 0, trajectories,
+            [](double v) { return v * v; });
+        const double mean = sum / n;
+        result.means[k] = mean;
+        if (n > 1.5) {
+            const double var = std::max(
+                0.0, (sumsq - n * mean * mean) / (n - 1.0));
+            result.stderrs[k] = std::sqrt(var / n);
+        }
+    }
+    return result;
+}
+
+RunResult
+SimulationEngine::run(const ScheduledCircuit &circuit,
+                      const std::vector<PauliString> &observables,
+                      const ExecutionOptions &opts)
+{
+    return run(std::vector<ScheduledCircuit>{circuit}, observables,
+               opts);
+}
+
+RunResult
+SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
+                      const std::vector<PauliString> &observables,
+                      const ExecutionOptions &opts)
+{
+    casq_assert(!variants.empty(), "no circuit variants to run");
+    casq_assert(opts.trajectories > 0, "need at least 1 trajectory");
+
+    std::vector<std::shared_ptr<const CompiledVariant>> compiled;
+    compiled.reserve(variants.size());
+    // Classical registers may differ across variants (a compiled
+    // instance can add or drop measurements); one runner serves all
+    // of them, so size its register file to the widest variant.
+    std::size_t num_clbits = 0;
+    for (const auto &v : variants) {
+        num_clbits = std::max(num_clbits, v.numClbits());
+        compiled.push_back(
+            compiledVariant(v, opts.cacheVariants));
+    }
+
+    const Rng master(opts.seed);
+    const std::size_t total = std::size_t(opts.trajectories);
+    const std::size_t K = observables.size();
+    std::vector<double> slots(total * K);
+
+    const auto simulateRange = [&](int t0, int t1) {
+        TrajectoryRunner runner(_backend, _noise,
+                                _backend.numQubits(), num_clbits);
+        for (int t = t0; t < t1; ++t) {
+            Rng rng = master.derive(std::uint64_t(t));
+            const auto &variant = *compiled[t % compiled.size()];
+            runner.run(variant, rng, observables,
+                       slots.data() + std::size_t(t) * K);
+        }
+    };
+
+    const unsigned threads = std::min<std::size_t>(
+        ThreadPool::resolveThreads(
+            unsigned(std::max(0, opts.threads))),
+        total);
+    if (threads <= 1) {
+        simulateRange(0, int(total));
+    } else {
+        // Oversplit so work stealing can fix stragglers (variants
+        // of different depth cost different amounts per shot).
+        ThreadPool &workers = pool(threads);
+        for (const auto &[t0, t1] :
+             splitRange(int(total), int(threads) * 4)) {
+            workers.submit(
+                [&simulateRange, t0 = t0, t1 = t1] {
+                    simulateRange(t0, t1);
+                });
+        }
+        workers.wait();
+    }
+    return reduceSlots(std::move(slots), total, K);
+}
+
+RunResult
+SimulationEngine::runEnsemble(
+    const LayeredCircuit &logical, PassManager &pipeline,
+    const std::vector<PauliString> &observables,
+    const EnsembleRunOptions &opts)
+{
+    casq_assert(opts.trajectories > 0, "need at least 1 trajectory");
+
+    EnsembleOptions compile;
+    compile.instances = opts.instances;
+    compile.seed = opts.compileSeed;
+    compile.prefixCache = opts.prefixCache;
+    compile.threads = 1; // the fused pool below owns the workers
+    const EnsemblePlan plan =
+        pipeline.planEnsemble(logical, _backend, compile);
+
+    const int V = plan.instanceCount();
+    const std::size_t total = std::size_t(opts.trajectories);
+    const std::size_t K = observables.size();
+    const Rng master(opts.seed);
+    std::vector<double> slots(total * K);
+
+    // Trajectory t executes variant t mod V, so instance k owns the
+    // arithmetic progression {k, k + V, ...} and can simulate it the
+    // moment its compilation finishes -- no cross-instance barrier.
+    const auto trajectoriesOf = [&](int k) {
+        return int(total) > k
+                   ? (int(total) - k + V - 1) / V
+                   : 0;
+    };
+    const auto simulateVariant = [&](const CompiledVariant &variant,
+                                     std::size_t num_clbits, int k,
+                                     int i0, int i1) {
+        TrajectoryRunner runner(_backend, _noise,
+                                _backend.numQubits(), num_clbits);
+        for (int i = i0; i < i1; ++i) {
+            const std::size_t t = std::size_t(k) + std::size_t(i) * V;
+            Rng rng = master.derive(std::uint64_t(t));
+            runner.run(variant, rng, observables,
+                       slots.data() + t * K);
+        }
+    };
+
+    const unsigned threads = ThreadPool::resolveThreads(
+        unsigned(std::max(0, opts.threads)));
+    if (threads <= 1) {
+        for (int k = 0; k < V; ++k) {
+            CompilationResult instance = plan.compileInstance(k);
+            const auto variant = compiledVariant(
+                instance.scheduled, opts.cacheVariants);
+            simulateVariant(*variant,
+                            instance.scheduled.numClbits(), k, 0,
+                            trajectoriesOf(k));
+        }
+        return reduceSlots(std::move(slots), total, K);
+    }
+
+    // One pool drives both stages: each compile task streams its
+    // freshly compiled variant into simulation sub-tasks on the
+    // same pool (submitting from a worker is safe -- the pending
+    // count can only reach zero after every nested submit).
+    ThreadPool &workers = pool(threads);
+    const int subtasks =
+        std::max(1, int(threads) * 2 / std::max(1, V));
+    for (int k = 0; k < V; ++k) {
+        workers.submit([&, k] {
+            CompilationResult instance = plan.compileInstance(k);
+            const std::size_t num_clbits =
+                instance.scheduled.numClbits();
+            const auto variant = compiledVariant(
+                instance.scheduled, opts.cacheVariants);
+            for (const auto &[i0, i1] :
+                 splitRange(trajectoriesOf(k), subtasks)) {
+                workers.submit([&, variant, num_clbits, k, i0 = i0,
+                                i1 = i1] {
+                    simulateVariant(*variant, num_clbits, k, i0,
+                                    i1);
+                });
+            }
+        });
+    }
+    workers.wait();
+    return reduceSlots(std::move(slots), total, K);
+}
+
+std::size_t
+SimulationEngine::variantCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    return _cacheCount;
+}
+
+std::size_t
+SimulationEngine::variantCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    return _cacheHits;
+}
+
+std::size_t
+SimulationEngine::variantCacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    return _cacheMisses;
+}
+
+void
+SimulationEngine::clearVariantCache()
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    _cache.clear();
+    _cacheCount = 0;
+}
+
+} // namespace casq

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * SimulationEngine: the unified Monte-Carlo estimator behind every
+ * figure of the paper.
+ *
+ * The engine owns the full hot path of the estimator pipeline
+ * (PAPER.md Sec. V): twirled circuit variants are lowered once into
+ * CompiledVariant execution plans (timeline + per-segment noise
+ * plans + instruction unitaries), trajectories run as work-stealing
+ * tasks on the shared ThreadPool (common/thread_pool.hh), and the
+ * observable estimates are reduced in a fixed order so the results
+ * are **bit-identical for every thread count**:
+ *
+ *  - trajectory t always draws from the RNG stream derived as
+ *    (seed, t) and executes variant t mod V -- stream identity never
+ *    depends on scheduling;
+ *  - every trajectory writes its observable values into its own
+ *    slot of a trajectories x observables matrix;
+ *  - means and standard errors come from a pairwise reduction over
+ *    the slots in trajectory order, on the calling thread.
+ *
+ * CompiledVariant construction is cached keyed by circuit identity
+ * (exact schedule equality behind a 64-bit fingerprint), so sweeps
+ * that revisit the same schedules -- repeated observable batches,
+ * Ramsey delays, layer-fidelity lengths -- stop recompiling them.
+ *
+ * runEnsemble() fuses compilation into simulation: instances stream
+ * out of PassManager::planEnsemble straight into trajectory
+ * execution on one pool, with no materialized schedule vector (and
+ * no barrier) between the stages.  docs/simulator.md has the full
+ * architecture notes.
+ */
+
+#ifndef CASQ_SIM_ENGINE_HH
+#define CASQ_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "device/backend.hh"
+#include "passes/pass_manager.hh"
+#include "pauli/pauli.hh"
+#include "sim/noise_model.hh"
+
+namespace casq {
+
+class ThreadPool;
+
+/** Trajectory-count, seeding and threading options. */
+struct ExecutionOptions
+{
+    int trajectories = 200; //!< total, split across variants
+    std::uint64_t seed = 1234;
+
+    /**
+     * Worker threads (ThreadPool::resolveThreads convention:
+     * 0 = one per hardware thread, 1 = inline on the caller).
+     * Results are bit-identical for every value.
+     */
+    int threads = 2;
+
+    /** Serve repeated schedules from the compiled-variant cache. */
+    bool cacheVariants = true;
+};
+
+/** Averaged observable estimates with statistical errors. */
+struct RunResult
+{
+    std::vector<double> means;
+    std::vector<double> stderrs;
+    int trajectories = 0;
+
+    double mean(std::size_t k = 0) const { return means.at(k); }
+};
+
+/** Configuration of a fused compile->simulate ensemble run. */
+struct EnsembleRunOptions
+{
+    /** Twirled instances to compile (EnsembleOptions semantics). */
+    int instances = 8;
+
+    /** Compilation master seed; instance k uses (seed, k + 7001). */
+    std::uint64_t compileSeed = 0;
+
+    /** Share the deterministic pass prefix across instances. */
+    bool prefixCache = true;
+
+    /** Total trajectories, distributed round-robin over variants. */
+    int trajectories = 200;
+
+    /** Simulation master seed; trajectory t uses (seed, t). */
+    std::uint64_t seed = 1234;
+
+    /**
+     * Workers for the single fused pool driving both stages
+     * (0 = one per hardware thread, 1 = inline).  Never changes any
+     * result.
+     */
+    int threads = 1;
+
+    /** Serve repeated schedules from the compiled-variant cache. */
+    bool cacheVariants = true;
+};
+
+namespace detail {
+struct CompiledVariant;
+} // namespace detail
+
+/**
+ * Reusable noisy-trajectory simulation engine bound to a backend +
+ * noise model.
+ *
+ * Thread-safety: an engine may be driven from one thread at a time
+ * (its pool and cache are internal state); the parallelism happens
+ * inside run()/runEnsemble().  The engine borrows the backend --
+ * mutating backend properties after construction leaves stale
+ * entries in the variant cache; call clearVariantCache() first.
+ */
+class SimulationEngine
+{
+  public:
+    SimulationEngine(const Backend &backend, const NoiseModel &noise);
+    ~SimulationEngine();
+
+    SimulationEngine(const SimulationEngine &) = delete;
+    SimulationEngine &operator=(const SimulationEngine &) = delete;
+
+    /** Run a single compiled circuit. */
+    RunResult run(const ScheduledCircuit &circuit,
+                  const std::vector<PauliString> &observables,
+                  const ExecutionOptions &opts = {});
+
+    /**
+     * Run a set of circuit variants (e.g. independently twirled
+     * instances); trajectory t executes variant t mod V.
+     */
+    RunResult run(const std::vector<ScheduledCircuit> &variants,
+                  const std::vector<PauliString> &observables,
+                  const ExecutionOptions &opts = {});
+
+    /**
+     * Fused ensemble estimate: compile opts.instances instances of
+     * `logical` through `pipeline` (sharing the deterministic
+     * prefix) and pipe each instance straight into its share of the
+     * trajectories, all on one pool.  Equivalent to -- and
+     * bit-identical with -- compileEnsemble() followed by run(),
+     * without the schedule-vector barrier between the stages.
+     */
+    RunResult runEnsemble(const LayeredCircuit &logical,
+                          PassManager &pipeline,
+                          const std::vector<PauliString> &observables,
+                          const EnsembleRunOptions &opts);
+
+    const Backend &backend() const { return _backend; }
+    const NoiseModel &noise() const { return _noise; }
+
+    // ------------------------------------- variant cache controls
+
+    /** Compiled variants currently cached. */
+    std::size_t variantCacheSize() const;
+
+    /** Lookups served from the cache since construction. */
+    std::size_t variantCacheHits() const;
+
+    /** Lookups that had to compile since construction. */
+    std::size_t variantCacheMisses() const;
+
+    /** Drop every cached variant (e.g. after backend mutation). */
+    void clearVariantCache();
+
+  private:
+    const Backend &_backend;
+    NoiseModel _noise;
+
+    /** Lazy shared pool, reused while the thread count matches. */
+    std::unique_ptr<ThreadPool> _pool;
+
+    /**
+     * Bound on cached variants: a long-lived engine sweeping
+     * always-fresh twirled ensembles must not accumulate dead plans
+     * forever.  When an insert would exceed the bound the whole
+     * cache is reset (epoch eviction: deterministic, O(1) amortized,
+     * and a working set that fits the bound never loses an entry).
+     */
+    static constexpr std::size_t kMaxCachedVariants = 256;
+
+    mutable std::mutex _cacheMutex;
+    std::unordered_map<
+        std::uint64_t,
+        std::vector<std::shared_ptr<const detail::CompiledVariant>>>
+        _cache;
+    std::size_t _cacheCount = 0; //!< variants currently cached
+    std::size_t _cacheHits = 0;
+    std::size_t _cacheMisses = 0;
+
+    /** Fingerprint-keyed, equality-checked variant lookup. */
+    std::shared_ptr<const detail::CompiledVariant>
+    compiledVariant(const ScheduledCircuit &circuit, bool use_cache);
+
+    /** Pool sized to `threads`, recreated only on size change. */
+    ThreadPool &pool(unsigned threads);
+
+    RunResult reduceSlots(std::vector<double> slots,
+                          std::size_t trajectories,
+                          std::size_t observables) const;
+};
+
+} // namespace casq
+
+#endif // CASQ_SIM_ENGINE_HH

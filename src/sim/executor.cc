@@ -1,428 +1,6 @@
 #include "sim/executor.hh"
 
-#include <cmath>
-#include <thread>
-
-#include "circuit/unitary.hh"
-#include "common/logging.hh"
-#include "sim/statevector.hh"
-
 namespace casq {
-
-namespace {
-
-constexpr double kTwoPi = 6.28318530717958647692;
-
-/** MHz * ns -> radians. */
-double
-angleOf(double rate_mhz, double tau_ns)
-{
-    return kTwoPi * rate_mhz * tau_ns * 1e-3;
-}
-
-/** Stochastic per-qubit hook of a segment. */
-struct StochasticQubit
-{
-    std::uint32_t qubit;
-    std::int8_t sign;
-    double tau;
-};
-
-/** Precomputed noise plan of one timeline segment. */
-struct SegmentPlan
-{
-    std::vector<QubitAngle> detZ;
-    std::vector<PairAngle> detZz;
-    std::vector<StochasticQubit> stoch;
-};
-
-/** A variant compiled for repeated trajectory execution. */
-struct CompiledVariant
-{
-    Timeline timeline;
-    std::vector<SegmentPlan> plans;
-    std::vector<CMat> unitaries; //!< per scheduled instruction
-
-    CompiledVariant(const ScheduledCircuit &circuit,
-                    const Backend &backend, const NoiseModel &noise);
-};
-
-CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
-                                 const Backend &backend,
-                                 const NoiseModel &noise)
-    : timeline(circuit)
-{
-    const auto &insts = timeline.circuit().instructions();
-    unitaries.resize(insts.size());
-    for (std::size_t i = 0; i < insts.size(); ++i) {
-        if (opIsUnitary(insts[i].inst.op) &&
-            insts[i].inst.op != Op::I) {
-            unitaries[i] = instructionUnitary(insts[i].inst);
-        }
-    }
-
-    plans.resize(timeline.segments().size());
-    for (std::size_t s = 0; s < plans.size(); ++s) {
-        const Segment &seg = timeline.segments()[s];
-        SegmentPlan &plan = plans[s];
-        const double tau = seg.duration();
-
-        // Coherent always-on ZZ in the toggling frame (Eq. 1/2).
-        if (noise.coherentZz) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.zzRateMHz <= 0.0)
-                    continue;
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                // Intra-gate coupling is part of the calibrated
-                // gate and not an error.
-                if (sa.instIndex >= 0 &&
-                    sa.instIndex == sb.instIndex) {
-                    continue;
-                }
-                const double theta = angleOf(props.zzRateMHz, tau) *
-                                     noise.coherentScale;
-                const double s_a = sa.frameSign;
-                const double s_b = sb.frameSign;
-                plan.detZ.push_back(
-                    QubitAngle{pair.a, -theta * s_a});
-                plan.detZ.push_back(
-                    QubitAngle{pair.b, -theta * s_b});
-                plan.detZz.push_back(
-                    PairAngle{pair.a, pair.b, theta * s_a * s_b});
-            }
-        }
-
-        // AC Stark shift on spectators of driven qubits (Fig. 4a).
-        if (noise.starkShift) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.starkShiftMHz <= 0.0 || props.nextNearest)
-                    continue;
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                const double theta =
-                    angleOf(props.starkShiftMHz, tau) *
-                    noise.coherentScale;
-                if (sa.driven && !sb.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.b, theta * sb.frameSign});
-                }
-                if (sb.driven && !sa.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.a, theta * sa.frameSign});
-                }
-            }
-        }
-
-        // Readout-induced Stark shift on spectators of a measured
-        // qubit (paper Sec. V D context).
-        if (noise.measurementStark) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.measureStarkMHz <= 0.0 ||
-                    props.nextNearest) {
-                    continue;
-                }
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                const double theta =
-                    angleOf(props.measureStarkMHz, tau) *
-                    noise.coherentScale;
-                if (sa.role == Role::Measuring &&
-                    sb.role != Role::Measuring && !sb.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.b, theta * sb.frameSign});
-                }
-                if (sb.role == Role::Measuring &&
-                    sa.role != Role::Measuring && !sa.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.a, theta * sa.frameSign});
-                }
-            }
-        }
-
-        // Stochastic dephasing hooks (charge parity, quasi-static,
-        // T2 jumps) for every qubit.
-        if (noise.chargeParity || noise.quasiStatic ||
-            noise.whiteDephasing) {
-            for (std::uint32_t q = 0; q < seg.qubits.size(); ++q) {
-                plan.stoch.push_back(StochasticQubit{
-                    q, seg.qubits[q].frameSign, tau});
-            }
-        }
-
-        // Merge duplicate per-qubit entries to shrink the hot loop.
-        if (!plan.detZ.empty()) {
-            std::vector<double> merged(seg.qubits.size(), 0.0);
-            for (const auto &za : plan.detZ)
-                merged[za.qubit] += za.theta;
-            plan.detZ.clear();
-            for (std::uint32_t q = 0; q < merged.size(); ++q)
-                if (merged[q] != 0.0)
-                    plan.detZ.push_back(QubitAngle{q, merged[q]});
-        }
-    }
-}
-
-/** Per-thread accumulation of observable sums. */
-struct Accumulator
-{
-    std::vector<double> sum;
-    std::vector<double> sumsq;
-    int count = 0;
-
-    explicit Accumulator(std::size_t n) : sum(n, 0.0), sumsq(n, 0.0)
-    {
-    }
-
-    void
-    add(const std::vector<double> &values)
-    {
-        for (std::size_t k = 0; k < values.size(); ++k) {
-            sum[k] += values[k];
-            sumsq[k] += values[k] * values[k];
-        }
-        ++count;
-    }
-
-    void
-    merge(const Accumulator &other)
-    {
-        for (std::size_t k = 0; k < sum.size(); ++k) {
-            sum[k] += other.sum[k];
-            sumsq[k] += other.sumsq[k];
-        }
-        count += other.count;
-    }
-};
-
-/** State of one trajectory run. */
-class TrajectoryRunner
-{
-  public:
-    TrajectoryRunner(const Backend &backend, const NoiseModel &noise,
-                     std::size_t num_qubits, std::size_t num_clbits)
-        : _backend(backend),
-          _noise(noise),
-          _state(num_qubits),
-          _clbits(num_clbits, 0),
-          _pendingT1(num_qubits, 0.0),
-          _cpSign(num_qubits, 1),
-          _detuning(num_qubits, 0.0),
-          _zBuffer()
-    {
-    }
-
-    void
-    run(const CompiledVariant &variant, Rng &rng,
-        const std::vector<PauliString> &observables,
-        std::vector<double> &out)
-    {
-        _state.reset();
-        std::fill(_clbits.begin(), _clbits.end(), 0);
-        std::fill(_pendingT1.begin(), _pendingT1.end(), 0.0);
-        sampleShotNoise(rng);
-
-        const auto &segments = variant.timeline.segments();
-        const auto &insts =
-            variant.timeline.circuit().instructions();
-        for (const auto &event : variant.timeline.events()) {
-            if (event.kind == TimelineEvent::Kind::Segment) {
-                applySegment(variant.plans[event.index],
-                             segments[event.index], rng);
-            } else {
-                fire(insts[event.index],
-                     variant.unitaries[event.index], rng);
-            }
-        }
-        flushAllT1(rng);
-        out.resize(observables.size());
-        for (std::size_t k = 0; k < observables.size(); ++k)
-            out[k] = _state.expectation(observables[k]);
-    }
-
-  private:
-    const Backend &_backend;
-    const NoiseModel &_noise;
-    Statevector _state;
-    std::vector<int> _clbits;
-    std::vector<double> _pendingT1;
-    std::vector<int> _cpSign;
-    std::vector<double> _detuning;
-    std::vector<QubitAngle> _zBuffer;
-
-    void
-    sampleShotNoise(Rng &rng)
-    {
-        for (std::uint32_t q = 0; q < _state.numQubits(); ++q) {
-            const QubitProperties &props = _backend.qubit(q);
-            _cpSign[q] = _noise.chargeParity ? rng.randomSign() : 1;
-            _detuning[q] =
-                _noise.quasiStatic
-                    ? rng.normal(0.0, props.quasiStaticSigmaMHz)
-                    : 0.0;
-        }
-    }
-
-    double
-    dephasingJumpProb(const QubitProperties &props, double tau) const
-    {
-        // Pure-dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
-        double rate = 1.0 / props.t2Ns;
-        if (_noise.amplitudeDamping && props.t1Ns > 0.0)
-            rate -= 0.5 / props.t1Ns;
-        if (rate <= 0.0)
-            return 0.0;
-        return 0.5 * (1.0 - std::exp(-tau * rate));
-    }
-
-    void
-    applySegment(const SegmentPlan &plan, const Segment &seg,
-                 Rng &rng)
-    {
-        // Convention: a Hamiltonian term (nu/2) Z acting for tau
-        // gives the Rz angle theta = 2 pi nu tau (angleOf), which
-        // is what applyPhases consumes.
-        _zBuffer.assign(plan.detZ.begin(), plan.detZ.end());
-        for (const auto &sq : plan.stoch) {
-            const QubitProperties &props = _backend.qubit(sq.qubit);
-            double theta = 0.0;
-            if (_noise.chargeParity &&
-                props.chargeParityMHz != 0.0) {
-                theta += angleOf(_cpSign[sq.qubit] *
-                                     props.chargeParityMHz,
-                                 sq.tau);
-            }
-            if (_noise.quasiStatic && _detuning[sq.qubit] != 0.0)
-                theta += angleOf(_detuning[sq.qubit], sq.tau);
-            theta *= sq.sign;
-            if (_noise.whiteDephasing &&
-                rng.bernoulli(dephasingJumpProb(props, sq.tau))) {
-                // Rz(pi) is a Z flip up to global phase; jump signs
-                // are frame-independent.
-                theta += 3.14159265358979323846;
-            }
-            if (theta != 0.0)
-                _zBuffer.push_back(QubitAngle{sq.qubit, theta});
-        }
-        _state.applyPhases(_zBuffer, plan.detZz);
-
-        if (_noise.amplitudeDamping) {
-            for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
-                _pendingT1[q] += seg.duration();
-        }
-    }
-
-    void
-    flushT1(std::uint32_t q, Rng &rng)
-    {
-        if (!_noise.amplitudeDamping || _pendingT1[q] <= 0.0)
-            return;
-        _state.amplitudeDamp(q, _pendingT1[q],
-                             _backend.qubit(q).t1Ns, rng);
-        _pendingT1[q] = 0.0;
-    }
-
-    void
-    flushAllT1(Rng &rng)
-    {
-        for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
-            flushT1(q, rng);
-    }
-
-    void
-    applyDepolarizing(const Instruction &inst, double duration,
-                      Rng &rng)
-    {
-        if (!_noise.gateDepolarizing)
-            return;
-        double p = 0.0;
-        if (inst.qubits.size() == 1) {
-            p = _backend.qubit(inst.qubits[0]).gateError1q;
-        } else if (_backend.hasPair(inst.qubits[0],
-                                    inst.qubits[1])) {
-            p = _backend.pair(inst.qubits[0], inst.qubits[1])
-                    .gateError2q;
-            if (inst.op == Op::Can)
-                p *= 3.0; // three-CX-equivalent block
-            if (inst.op == Op::RZZ) {
-                // Pulse stretching: a short rzz pulse carries
-                // proportionally less error than a full echoed
-                // gate (paper Sec. IV B).
-                p *= std::min(
-                    1.0,
-                    duration / _backend.durations().twoQubit);
-            }
-        } else {
-            p = 7e-3;
-        }
-        if (!rng.bernoulli(p))
-            return;
-        if (inst.qubits.size() == 1) {
-            const int k = 1 + int(rng.uniformInt(3));
-            _state.applyPauliOp(PauliOp(k), inst.qubits[0]);
-        } else {
-            const int k = 1 + int(rng.uniformInt(15));
-            const int k0 = k & 3, k1 = (k >> 2) & 3;
-            if (k0)
-                _state.applyPauliOp(PauliOp(k0), inst.qubits[0]);
-            if (k1)
-                _state.applyPauliOp(PauliOp(k1), inst.qubits[1]);
-        }
-    }
-
-    void
-    fire(const TimedInstruction &timed, const CMat &unitary, Rng &rng)
-    {
-        const Instruction &inst = timed.inst;
-        if (inst.isConditional() &&
-            _clbits[inst.condBit] != inst.condValue) {
-            return;
-        }
-        switch (inst.op) {
-          case Op::Measure: {
-            const std::uint32_t q = inst.qubits[0];
-            flushT1(q, rng);
-            int outcome = _state.measure(q, rng);
-            if (_noise.readoutError &&
-                rng.bernoulli(_backend.qubit(q).readoutError)) {
-                outcome ^= 1;
-            }
-            _clbits[inst.cbit] = outcome;
-            return;
-          }
-          case Op::Reset: {
-            const std::uint32_t q = inst.qubits[0];
-            flushT1(q, rng);
-            if (_state.measure(q, rng) == 1)
-                _state.applyGate1q(gateUnitary(Op::X), q);
-            return;
-          }
-          case Op::I:
-            return;
-          default:
-            break;
-        }
-        // Virtual diagonal gates: exact, free, no T1 flush needed
-        // (they commute with the damping Kraus operators).
-        if (opIsVirtual(inst.op)) {
-            if (inst.op == Op::RZ)
-                _state.applyRz(inst.qubits[0], inst.params[0]);
-            else
-                _state.applyGate1q(unitary, inst.qubits[0]);
-            return;
-        }
-        for (auto q : inst.qubits)
-            flushT1(q, rng);
-        if (inst.qubits.size() == 1)
-            _state.applyGate1q(unitary, inst.qubits[0]);
-        else
-            _state.applyGate2q(unitary, inst.qubits[0],
-                               inst.qubits[1]);
-        applyDepolarizing(inst, timed.duration, rng);
-    }
-};
-
-} // namespace
 
 Executor::Executor(const Backend &backend, const NoiseModel &noise)
     : _backend(backend), _noise(noise)
@@ -443,73 +21,12 @@ Executor::run(const std::vector<ScheduledCircuit> &variants,
               const std::vector<PauliString> &observables,
               const ExecutionOptions &opts) const
 {
-    casq_assert(!variants.empty(), "no circuit variants to run");
-    casq_assert(opts.trajectories > 0, "need at least 1 trajectory");
-
-    std::vector<CompiledVariant> compiled;
-    compiled.reserve(variants.size());
-    for (const auto &v : variants) {
-        casq_assert(v.numQubits() == _backend.numQubits(),
-                    "circuit width ", v.numQubits(),
-                    " != backend width ", _backend.numQubits());
-        compiled.emplace_back(v, _backend, _noise);
-    }
-
-    const Rng master(opts.seed);
-    const int total = opts.trajectories;
-    const int nthreads =
-        std::max(1, std::min(opts.threads,
-                             int(std::thread::hardware_concurrency())));
-
-    auto worker = [&](int t0, int t1, Accumulator &acc) {
-        TrajectoryRunner runner(_backend, _noise,
-                                _backend.numQubits(),
-                                variants[0].numClbits());
-        std::vector<double> values;
-        for (int t = t0; t < t1; ++t) {
-            Rng rng = master.derive(std::uint64_t(t));
-            const auto &variant = compiled[t % compiled.size()];
-            runner.run(variant, rng, observables, values);
-            acc.add(values);
-        }
-    };
-
-    std::vector<Accumulator> accs(std::size_t(nthreads),
-                                  Accumulator(observables.size()));
-    if (nthreads == 1) {
-        worker(0, total, accs[0]);
-    } else {
-        std::vector<std::thread> threads;
-        const int chunk = (total + nthreads - 1) / nthreads;
-        for (int w = 0; w < nthreads; ++w) {
-            const int lo = w * chunk;
-            const int hi = std::min(total, lo + chunk);
-            if (lo >= hi)
-                break;
-            threads.emplace_back(worker, lo, hi, std::ref(accs[w]));
-        }
-        for (auto &th : threads)
-            th.join();
-    }
-    for (std::size_t w = 1; w < accs.size(); ++w)
-        accs[0].merge(accs[w]);
-
-    RunResult result;
-    result.trajectories = accs[0].count;
-    result.means.resize(observables.size());
-    result.stderrs.resize(observables.size());
-    for (std::size_t k = 0; k < observables.size(); ++k) {
-        const double n = double(accs[0].count);
-        const double mean = accs[0].sum[k] / n;
-        result.means[k] = mean;
-        if (n > 1.5) {
-            const double var =
-                std::max(0.0, (accs[0].sumsq[k] - n * mean * mean) /
-                                  (n - 1.0));
-            result.stderrs[k] = std::sqrt(var / n);
-        }
-    }
-    return result;
+    // A fresh engine per call keeps the historical contract: run()
+    // is const and safe to invoke concurrently.  The price is that
+    // nothing is cached across calls -- sweeps should hold a
+    // SimulationEngine instead.
+    SimulationEngine engine(_backend, _noise);
+    return engine.run(variants, observables, opts);
 }
 
 } // namespace casq

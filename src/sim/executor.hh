@@ -1,15 +1,22 @@
 /**
  * @file
- * Monte-Carlo trajectory executor.
+ * Monte-Carlo trajectory executor -- compatibility facade.
  *
- * Replaces the paper's hardware runs: each trajectory samples the
- * per-shot stochastic noise (charge-parity signs, quasi-static
- * detunings, dephasing/relaxation jumps, gate depolarizing, readout
- * flips), propagates an exact statevector through the timeline with
- * coherent crosstalk phases injected per segment, and evaluates the
- * requested Pauli observables exactly on the final state.  Averaging
- * over trajectories (and over twirled circuit variants) reproduces
- * the experimental estimator pipeline.
+ * The simulation itself lives in sim/engine.hh (SimulationEngine):
+ * trajectories sample the per-shot stochastic noise (charge-parity
+ * signs, quasi-static detunings, dephasing/relaxation jumps, gate
+ * depolarizing, readout flips), propagate an exact statevector
+ * through the timeline with coherent crosstalk phases injected per
+ * segment, and evaluate the requested Pauli observables on the
+ * final state.  Averaging over trajectories (and twirled variants)
+ * reproduces the experimental estimator pipeline.
+ *
+ * Executor is the original stateless entry point, kept as a thin
+ * wrapper: each run() constructs a throwaway engine, so concurrent
+ * run() calls on one const Executor remain safe.  New code -- and
+ * everything that sweeps or batches -- should hold a
+ * SimulationEngine to get pool reuse, the compiled-variant cache,
+ * and the fused compile->simulate ensemble path.
  */
 
 #ifndef CASQ_SIM_EXECUTOR_HH
@@ -17,30 +24,9 @@
 
 #include <vector>
 
-#include "device/backend.hh"
-#include "pauli/pauli.hh"
-#include "sim/noise_model.hh"
-#include "sim/timeline.hh"
+#include "sim/engine.hh"
 
 namespace casq {
-
-/** Trajectory-count, seeding and threading options. */
-struct ExecutionOptions
-{
-    int trajectories = 200; //!< total, split across variants
-    std::uint64_t seed = 1234;
-    int threads = 2;
-};
-
-/** Averaged observable estimates with statistical errors. */
-struct RunResult
-{
-    std::vector<double> means;
-    std::vector<double> stderrs;
-    int trajectories = 0;
-
-    double mean(std::size_t k = 0) const { return means.at(k); }
-};
 
 /** Noisy trajectory simulator bound to a backend + noise model. */
 class Executor

@@ -11,6 +11,7 @@
 
 #include "experiments/dynamic.hh"
 #include "experiments/ramsey.hh"
+#include "sim/executor.hh"
 
 namespace casq {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "experiments/ramsey.hh"
+#include "sim/executor.hh"
 #include "passes/pipeline.hh"
 
 namespace casq {
