@@ -8,15 +8,155 @@
 #ifndef CASQ_BENCH_BENCH_COMMON_HH
 #define CASQ_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "passes/pipeline.hh"
 
 namespace casq::bench {
+
+/**
+ * Ordered key/value field list of one JSON object.  Insertion order
+ * is emission order, so output is deterministic and diffs clean.
+ */
+class JsonFields
+{
+  public:
+    JsonFields &
+    add(const std::string &key, const std::string &value)
+    {
+        std::string quoted = "\"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                quoted += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                quoted += buf;
+            } else {
+                quoted += c;
+            }
+        }
+        quoted += '"';
+        return raw(key, std::move(quoted));
+    }
+
+    JsonFields &
+    add(const std::string &key, const char *value)
+    {
+        return add(key, std::string(value));
+    }
+
+    JsonFields &
+    add(const std::string &key, bool value)
+    {
+        return raw(key, value ? "true" : "false");
+    }
+
+    /** Fixed-point double, explicit precision (schema stability). */
+    JsonFields &
+    add(const std::string &key, double value, int precision)
+    {
+        std::ostringstream os;
+        os.setf(std::ios::fixed);
+        os.precision(precision);
+        os << value;
+        return raw(key, os.str());
+    }
+
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    JsonFields &
+    add(const std::string &key, T value)
+    {
+        return raw(key, std::to_string(value));
+    }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    fields() const
+    {
+        return _fields;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _fields;
+
+    JsonFields &
+    raw(const std::string &key, std::string value)
+    {
+        _fields.emplace_back(key, std::move(value));
+        return *this;
+    }
+};
+
+/**
+ * The one BENCH_*.json schema every self-timed bench emits: a
+ * top-level object with the bench name, the bench's meta fields
+ * (workload shape), and a "samples" array with one object per
+ * measured configuration.  perf_ensemble, perf_executor and
+ * perf_shard all write through this helper, so CI consumers parse
+ * a single format.
+ */
+class BenchJsonWriter
+{
+  public:
+    explicit BenchJsonWriter(std::string bench)
+        : _bench(std::move(bench))
+    {
+    }
+
+    /** Top-level workload-shape fields (qubits, depth, ...). */
+    JsonFields &meta() { return _meta; }
+
+    /** Append one measured configuration. */
+    JsonFields &
+    newSample()
+    {
+        _samples.emplace_back();
+        return _samples.back();
+    }
+
+    /** Emit the file, or exit(1) like a failed measurement. */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "cannot write " << path << "\n";
+            std::exit(1);
+        }
+        out << "{\n  \"bench\": \"" << _bench << "\",\n";
+        for (const auto &[key, value] : _meta.fields())
+            out << "  \"" << key << "\": " << value << ",\n";
+        out << "  \"samples\": [\n";
+        for (std::size_t i = 0; i < _samples.size(); ++i) {
+            out << "    {";
+            const auto &fields = _samples[i].fields();
+            for (std::size_t f = 0; f < fields.size(); ++f)
+                out << "\"" << fields[f].first
+                    << "\": " << fields[f].second
+                    << (f + 1 < fields.size() ? ", " : "");
+            out << "}" << (i + 1 < _samples.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << path << "\n";
+    }
+
+  private:
+    std::string _bench;
+    JsonFields _meta;
+    std::vector<JsonFields> _samples;
+};
 
 /** Runtime knobs shared by all figure benches. */
 struct BenchConfig

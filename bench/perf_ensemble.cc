@@ -224,30 +224,21 @@ writeJson(const std::string &path,
           const std::vector<Sample> &samples,
           const PerfOptions &options)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::cerr << "cannot write " << path << "\n";
-        std::exit(1);
+    bench::BenchJsonWriter json("perf_ensemble");
+    json.meta()
+        .add("qubits", options.qubits)
+        .add("depth", options.depth)
+        .add("instances", options.instances);
+    for (const Sample &s : samples) {
+        json.newSample()
+            .add("workload", s.workload)
+            .add("threads", s.threads)
+            .add("cached", s.cached)
+            .add("prefix_length", s.prefixLength)
+            .add("wall_ms", s.wallMillis, 3)
+            .add("instances_per_s", s.instancesPerSecond(), 1);
     }
-    out << "{\n  \"bench\": \"perf_ensemble\",\n"
-        << "  \"qubits\": " << options.qubits << ",\n"
-        << "  \"depth\": " << options.depth << ",\n"
-        << "  \"instances\": " << options.instances << ",\n"
-        << "  \"samples\": [\n";
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample &s = samples[i];
-        out << "    {\"workload\": \"" << s.workload
-            << "\", \"threads\": " << s.threads
-            << ", \"cached\": " << (s.cached ? "true" : "false")
-            << ", \"prefix_length\": " << s.prefixLength
-            << ", \"wall_ms\": " << std::fixed
-            << std::setprecision(3) << s.wallMillis
-            << ", \"instances_per_s\": " << std::setprecision(1)
-            << s.instancesPerSecond() << "}"
-            << (i + 1 < samples.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "wrote " << path << "\n";
+    json.write(path);
 }
 
 } // namespace

@@ -184,30 +184,21 @@ writeJson(const std::string &path,
           const std::vector<Sample> &samples,
           const PerfOptions &options)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::cerr << "cannot write " << path << "\n";
-        std::exit(1);
+    bench::BenchJsonWriter json("perf_executor");
+    json.meta()
+        .add("qubits", options.qubits)
+        .add("depth", options.depth)
+        .add("instances", options.instances)
+        .add("trajectories", options.trajectories);
+    for (const Sample &s : samples) {
+        json.newSample()
+            .add("config", s.config)
+            .add("threads", s.threads)
+            .add("cached", s.cached)
+            .add("wall_ms", s.wallMillis, 3)
+            .add("trajectories_per_s", s.trajectoriesPerSecond(), 1);
     }
-    out << "{\n  \"bench\": \"perf_executor\",\n"
-        << "  \"qubits\": " << options.qubits << ",\n"
-        << "  \"depth\": " << options.depth << ",\n"
-        << "  \"instances\": " << options.instances << ",\n"
-        << "  \"trajectories\": " << options.trajectories << ",\n"
-        << "  \"samples\": [\n";
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample &s = samples[i];
-        out << "    {\"config\": \"" << s.config
-            << "\", \"threads\": " << s.threads
-            << ", \"cached\": " << (s.cached ? "true" : "false")
-            << ", \"wall_ms\": " << std::fixed
-            << std::setprecision(3) << s.wallMillis
-            << ", \"trajectories_per_s\": " << std::setprecision(1)
-            << s.trajectoriesPerSecond() << "}"
-            << (i + 1 < samples.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "wrote " << path << "\n";
+    json.write(path);
 }
 
 } // namespace

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Sharded-execution overhead: one-process Engine::runEnsemble vs.
+ * S serialized shards (sim/shard.hh) executed back to back and
+ * merged.
+ *
+ * Each sharded configuration pays the full cross-process protocol
+ * in-process -- encode the spec, decode it, rebuild backend and
+ * pipeline, execute, encode the result, decode it, merge -- so the
+ * timing bounds the real fan-out overhead from above (minus the
+ * network).  Before any timing is reported the merged RunResult is
+ * byte-compared against the single-process reference: a diverging
+ * shard decomposition fails the bench, so the CI timing run doubles
+ * as a determinism gate on the sharding contract.  Use --json FILE
+ * to append the numbers to the BENCH_*.json trajectory.
+ *
+ *   $ ./perf_shard --traj 2000 --shards-list 1,2,4
+ *   $ ./perf_shard --json BENCH_perf_shard.json
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/shard.hh"
+
+using namespace casq;
+
+namespace {
+
+struct PerfOptions
+{
+    int trajectories = 2000;
+    int instances = 8;
+    std::size_t qubits = 8;
+    int depth = 12;
+    std::uint64_t seed = 2024;
+    int threads = 1; //!< workers inside each shard execution
+    std::vector<std::uint32_t> shardsList{1, 2, 4};
+    std::string jsonPath;
+};
+
+/** One measured configuration. */
+struct Sample
+{
+    std::string config;
+    std::uint32_t shards = 1;
+    double wallMillis = 0.0;
+    int trajectories = 0;
+
+    double
+    trajectoriesPerSecond() const
+    {
+        return wallMillis > 0.0
+                   ? 1e3 * double(trajectories) / wallMillis
+                   : 0.0;
+    }
+};
+
+void
+usage(const char *prog)
+{
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "  --traj N          trajectory budget (default 2000)\n"
+        << "  --instances N     twirled variants (default 8)\n"
+        << "  --qubits N        chain length (default 8)\n"
+        << "  --depth D         layer pairs (default 12)\n"
+        << "  --seed S          master seed (default 2024)\n"
+        << "  --threads N       workers per shard run (default 1)\n"
+        << "  --shards-list L   comma-separated shard counts\n"
+        << "                    (default 1,2,4)\n"
+        << "  --json FILE       write machine-readable results\n";
+}
+
+PerfOptions
+parse(int argc, char **argv)
+{
+    PerfOptions options;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (std::strcmp(argv[i], "--help") == 0) {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (const char *v = value("--traj")) {
+            options.trajectories = std::atoi(v);
+        } else if (const char *v = value("--instances")) {
+            options.instances = std::atoi(v);
+        } else if (const char *v = value("--qubits")) {
+            options.qubits = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--depth")) {
+            options.depth = std::atoi(v);
+        } else if (const char *v = value("--seed")) {
+            options.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--threads")) {
+            options.threads = std::atoi(v);
+        } else if (const char *v = value("--shards-list")) {
+            options.shardsList.clear();
+            std::stringstream ss(v);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                options.shardsList.push_back(std::uint32_t(
+                    std::strtoul(item.c_str(), nullptr, 10)));
+        } else if (const char *v = value("--json")) {
+            options.jsonPath = v;
+        } else {
+            std::cerr << "unknown argument '" << argv[i] << "'\n";
+            usage(argv[0]);
+            std::exit(1);
+        }
+    }
+    return options;
+}
+
+double
+wallMillisSince(std::chrono::steady_clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+/** Hard gate: a diverging shard decomposition fails the bench. */
+void
+requireByteIdentical(const RunResult &actual,
+                     const RunResult &expected,
+                     std::uint32_t shards)
+{
+    const bool same =
+        actual.trajectories == expected.trajectories &&
+        actual.means == expected.means &&
+        actual.stderrs == expected.stderrs;
+    if (!same) {
+        std::cerr << "FAIL: shards=" << shards
+                  << " merged result diverged from the "
+                     "single-process reference\n";
+        std::exit(1);
+    }
+}
+
+void
+report(const std::vector<Sample> &samples, double serial_ms)
+{
+    std::cout << std::left << std::setw(10) << "config"
+              << std::right << std::setw(8) << "shards"
+              << std::setw(12) << "wall ms" << std::setw(12)
+              << "traj/s" << std::setw(10) << "overhead" << "\n";
+    for (const Sample &s : samples)
+        std::cout << std::left << std::setw(10) << s.config
+                  << std::right << std::setw(8) << s.shards
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(2) << s.wallMillis
+                  << std::setw(12) << std::setprecision(0)
+                  << s.trajectoriesPerSecond() << std::setw(10)
+                  << std::setprecision(2)
+                  << (serial_ms > 0.0 ? s.wallMillis / serial_ms
+                                      : 0.0)
+                  << "\n";
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const PerfOptions options = parse(argc, argv);
+
+    ShardSpec spec;
+    spec.logical = bench::syntheticChainWorkload(
+        options.qubits, options.depth, /*idle_layers=*/true);
+    for (std::uint32_t q = 0; q < options.qubits; ++q)
+        spec.observables.push_back(
+            PauliString::single(options.qubits, q, PauliOp::Z));
+    spec.backendQubits = std::uint32_t(options.qubits);
+    spec.instances = options.instances;
+    spec.compileSeed = options.seed;
+    spec.trajectories = options.trajectories;
+    spec.seed = options.seed;
+
+    // ------------------------------------- single-process reference
+    const Backend backend = spec.makeBackend();
+    PassManager pipeline = spec.makePipeline();
+    SimulationEngine engine(backend, NoiseModel::standard());
+    auto begin = std::chrono::steady_clock::now();
+    const RunResult reference = engine.runEnsemble(
+        spec.logical, pipeline, spec.observables,
+        spec.runOptions(options.threads));
+    Sample serial;
+    serial.config = "single";
+    serial.wallMillis = wallMillisSince(begin);
+    serial.trajectories = reference.trajectories;
+
+    std::vector<Sample> all{serial};
+
+    // ------------------------------------------- S serialized shards
+    // Full protocol per shard: encode spec -> decode -> execute ->
+    // encode result -> decode -> merge.  Shards run back to back,
+    // so wall time models one host doing all the work plus the
+    // serialization overhead the fan-out pays.
+    for (std::uint32_t shards : options.shardsList) {
+        if (shards < 1)
+            continue;
+        spec.shardCount = shards;
+        begin = std::chrono::steady_clock::now();
+        std::vector<ShardResult> results;
+        results.reserve(shards);
+        for (std::uint32_t k = 0; k < shards; ++k) {
+            spec.shardIndex = k;
+            const auto spec_bytes = spec.encode();
+            const ShardSpec remote = ShardSpec::decode(spec_bytes);
+            const auto result_bytes =
+                executeShard(remote, options.threads).encode();
+            results.push_back(ShardResult::decode(result_bytes));
+        }
+        const RunResult merged = mergeShards(results);
+        Sample s;
+        s.config = "sharded";
+        s.shards = shards;
+        s.wallMillis = wallMillisSince(begin);
+        s.trajectories = merged.trajectories;
+        requireByteIdentical(merged, reference, shards);
+        all.push_back(s);
+    }
+    spec.shardIndex = 0;
+    spec.shardCount = 1;
+
+    report(all, serial.wallMillis);
+    if (!options.jsonPath.empty()) {
+        bench::BenchJsonWriter json("perf_shard");
+        json.meta()
+            .add("qubits", options.qubits)
+            .add("depth", options.depth)
+            .add("instances", options.instances)
+            .add("trajectories", options.trajectories)
+            .add("threads", options.threads);
+        for (const Sample &s : all) {
+            json.newSample()
+                .add("config", s.config)
+                .add("shards", s.shards)
+                .add("wall_ms", s.wallMillis, 3)
+                .add("trajectories_per_s",
+                     s.trajectoriesPerSecond(), 1);
+        }
+        json.write(options.jsonPath);
+    }
+    return 0;
+}

@@ -1,0 +1,200 @@
+#include "common/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+namespace casq {
+
+namespace {
+
+[[noreturn]] void
+outOfBounds(std::size_t offset, std::size_t size,
+            std::size_t wanted)
+{
+    throw SerializeError(
+        "truncated payload: need " + std::to_string(wanted) +
+        " byte(s) at offset " + std::to_string(offset) +
+        " but only " + std::to_string(size - offset) + " remain");
+}
+
+} // namespace
+
+// ------------------------------------------------------ ByteWriter
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        _bytes.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        _bytes.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(const std::string &v)
+{
+    u32(std::uint32_t(v.size()));
+    _bytes.insert(_bytes.end(), v.begin(), v.end());
+}
+
+// ------------------------------------------------------ ByteReader
+
+void
+ByteReader::need(std::size_t bytes) const
+{
+    if (_size - _offset < bytes)
+        outOfBounds(_offset, _size, bytes);
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return _data[_offset++];
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(_data[_offset + i]) << (8 * i);
+    _offset += 4;
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(_data[_offset + i]) << (8 * i);
+    _offset += 8;
+    return v;
+}
+
+bool
+ByteReader::boolean()
+{
+    const std::uint8_t v = u8();
+    if (v > 1) {
+        throw SerializeError(
+            "corrupt boolean value " + std::to_string(int(v)) +
+            " at offset " + std::to_string(_offset - 1));
+    }
+    return v == 1;
+}
+
+double
+ByteReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::size_t n = count(1);
+    std::string v(reinterpret_cast<const char *>(_data + _offset),
+                  n);
+    _offset += n;
+    return v;
+}
+
+std::size_t
+ByteReader::count(std::size_t min_element_bytes)
+{
+    const std::size_t at = _offset;
+    const std::uint32_t n = u32();
+    if (min_element_bytes > 0 &&
+        std::size_t(n) > remaining() / min_element_bytes) {
+        throw SerializeError(
+            "corrupt element count " + std::to_string(n) +
+            " at offset " + std::to_string(at) + ": only " +
+            std::to_string(remaining()) + " byte(s) remain");
+    }
+    return n;
+}
+
+void
+ByteReader::requireEnd() const
+{
+    if (!atEnd()) {
+        throw SerializeError(
+            "trailing garbage: " + std::to_string(remaining()) +
+            " unconsumed byte(s) at offset " +
+            std::to_string(_offset));
+    }
+}
+
+// ----------------------------------------------------- fingerprint
+
+std::uint64_t
+fingerprintBytes(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fingerprintBytes(const std::vector<std::uint8_t> &bytes)
+{
+    return fingerprintBytes(bytes.data(), bytes.size());
+}
+
+// ------------------------------------------------------- file I/O
+
+std::vector<std::uint8_t>
+readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SerializeError("cannot open '" + path +
+                             "' for reading");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        throw SerializeError("I/O error while reading '" + path +
+                             "'");
+    return bytes;
+}
+
+void
+writeBinaryFile(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw SerializeError("cannot open '" + path +
+                             "' for writing");
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+    if (!out)
+        throw SerializeError("I/O error while writing '" + path +
+                             "'");
+}
+
+} // namespace casq

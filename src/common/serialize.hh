@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Versioned, endian-stable binary serialization primitives.
+ *
+ * Sharded ensemble execution (sim/shard.hh) moves shard specs and
+ * shard results between processes and hosts as flat byte payloads.
+ * The encoding rules here make those payloads portable and
+ * reproducible:
+ *
+ *  - every integer is written little-endian byte by byte, so the
+ *    bytes are identical on any host regardless of its native
+ *    endianness or struct layout;
+ *  - doubles are written as the little-endian bytes of their IEEE-754
+ *    bit pattern, so values (including NaNs) round-trip bit-exactly;
+ *  - containers are length-prefixed, and readers bounds-check every
+ *    access: a truncated or corrupted payload raises SerializeError
+ *    with the offending offset instead of crashing.
+ *
+ * Encoding is canonical: encode(decode(encode(x))) == encode(x)
+ * byte for byte, which lets consumers fingerprint payloads to detect
+ * spec mismatches across shards.
+ */
+
+#ifndef CASQ_COMMON_SERIALIZE_HH
+#define CASQ_COMMON_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace casq {
+
+/** Malformed payload (truncation, corruption, version skew). */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Append-only little-endian byte sink. */
+class ByteWriter
+{
+  public:
+    const std::vector<std::uint8_t> &bytes() const { return _bytes; }
+    std::vector<std::uint8_t> take() { return std::move(_bytes); }
+    std::size_t size() const { return _bytes.size(); }
+
+    void u8(std::uint8_t v) { _bytes.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(std::uint32_t(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern, little-endian (NaNs round-trip). */
+    void f64(double v);
+
+    /** u32 length prefix followed by the raw bytes. */
+    void str(const std::string &v);
+
+  private:
+    std::vector<std::uint8_t> _bytes;
+};
+
+/**
+ * Bounds-checked little-endian byte source.  Every accessor throws
+ * SerializeError naming the payload offset when the remaining bytes
+ * cannot satisfy the read; a reader never walks off the buffer.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : _data(data), _size(size)
+    {
+    }
+
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::size_t offset() const { return _offset; }
+    std::size_t remaining() const { return _size - _offset; }
+    bool atEnd() const { return _offset == _size; }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return std::int32_t(u32()); }
+    bool boolean();
+    double f64();
+    std::string str();
+
+    /**
+     * Read a u32 element count for elements of at least
+     * min_element_bytes each, rejecting counts the remaining bytes
+     * cannot possibly hold (so a corrupted length cannot trigger a
+     * huge allocation).
+     */
+    std::size_t count(std::size_t min_element_bytes);
+
+    /** Fail unless the whole payload has been consumed. */
+    void requireEnd() const;
+
+  private:
+    const std::uint8_t *_data;
+    std::size_t _size;
+    std::size_t _offset = 0;
+
+    void need(std::size_t bytes) const;
+};
+
+/**
+ * 64-bit FNV-1a fingerprint of a byte payload.  Used to tie shard
+ * results back to the exact spec bytes they were produced from.
+ */
+std::uint64_t fingerprintBytes(const std::uint8_t *data,
+                               std::size_t size);
+std::uint64_t fingerprintBytes(const std::vector<std::uint8_t> &bytes);
+
+/** Read a whole binary file; throws SerializeError on I/O failure. */
+std::vector<std::uint8_t> readBinaryFile(const std::string &path);
+
+/** Write a binary file; throws SerializeError on I/O failure. */
+void writeBinaryFile(const std::string &path,
+                     const std::vector<std::uint8_t> &bytes);
+
+} // namespace casq
+
+#endif // CASQ_COMMON_SERIALIZE_HH

@@ -579,9 +579,9 @@ SimulationEngine::pool(unsigned threads)
 }
 
 RunResult
-SimulationEngine::reduceSlots(std::vector<double> slots,
-                              std::size_t trajectories,
-                              std::size_t observables) const
+reduceTrajectorySlots(const std::vector<double> &slots,
+                      std::size_t trajectories,
+                      std::size_t observables)
 {
     RunResult result;
     result.trajectories = int(trajectories);
@@ -673,7 +673,7 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
         }
         workers.wait();
     }
-    return reduceSlots(std::move(slots), total, K);
+    return reduceTrajectorySlots(slots, total, K);
 }
 
 RunResult
@@ -730,7 +730,7 @@ SimulationEngine::runEnsemble(
                             instance.scheduled.numClbits(), k, 0,
                             trajectoriesOf(k));
         }
-        return reduceSlots(std::move(slots), total, K);
+        return reduceTrajectorySlots(slots, total, K);
     }
 
     // One pool drives both stages: each compile task streams its
@@ -758,7 +758,123 @@ SimulationEngine::runEnsemble(
         });
     }
     workers.wait();
-    return reduceSlots(std::move(slots), total, K);
+    return reduceTrajectorySlots(slots, total, K);
+}
+
+ShardSlots
+SimulationEngine::runShard(
+    const LayeredCircuit &logical, PassManager &pipeline,
+    const std::vector<PauliString> &observables,
+    const EnsembleRunOptions &opts, std::uint32_t shard_index,
+    std::uint32_t shard_count)
+{
+    casq_assert(shard_count >= 1, "need at least one shard");
+    casq_assert(shard_index < shard_count, "shard index ",
+                shard_index, " out of range for ", shard_count,
+                " shard(s)");
+    casq_assert(opts.trajectories > 0, "need at least 1 trajectory");
+
+    EnsembleOptions compile;
+    compile.instances = opts.instances;
+    compile.seed = opts.compileSeed;
+    compile.prefixCache = opts.prefixCache;
+    compile.threads = 1; // the pool below owns the workers
+    const EnsemblePlan plan =
+        pipeline.planEnsemble(logical, _backend, compile);
+
+    const std::size_t V = std::size_t(plan.instanceCount());
+    const std::size_t total = std::size_t(opts.trajectories);
+    const std::size_t K = observables.size();
+    const std::size_t S = shard_count;
+    const std::size_t k0 = shard_index;
+    const Rng master(opts.seed);
+
+    // This shard owns global trajectories t = k0, k0 + S, ...; the
+    // j-th of them writes slot j.  Group the owned trajectories by
+    // the instance they execute (t mod V) so each needed instance
+    // compiles exactly once -- when S divides V this grouping visits
+    // exactly the instances i = k0 (mod S).
+    const std::size_t owned =
+        total > k0 ? (total - k0 + S - 1) / S : 0;
+    std::vector<std::vector<std::size_t>> ordinals_of(V);
+    for (std::size_t j = 0; j < owned; ++j)
+        ordinals_of[(k0 + j * S) % V].push_back(j);
+
+    ShardSlots out;
+    out.slots.assign(owned * K, 0.0);
+    for (std::size_t i = 0; i < V; ++i)
+        if (!ordinals_of[i].empty())
+            out.instances.push_back(std::uint32_t(i));
+    out.fingerprints.assign(out.instances.size(), 0);
+
+    const auto simulateOrdinals =
+        [&](const CompiledVariant &variant, std::size_t num_clbits,
+            const std::vector<std::size_t> &ordinals,
+            std::size_t o0, std::size_t o1) {
+            TrajectoryRunner runner(_backend, _noise,
+                                    _backend.numQubits(),
+                                    num_clbits);
+            for (std::size_t o = o0; o < o1; ++o) {
+                const std::size_t j = ordinals[o];
+                const std::size_t t = k0 + j * S;
+                Rng rng = master.derive(std::uint64_t(t));
+                runner.run(variant, rng, observables,
+                           out.slots.data() + j * K);
+            }
+        };
+    const auto compileAndRecord =
+        [&](std::size_t n) -> std::pair<
+            std::shared_ptr<const CompiledVariant>, std::size_t> {
+        const std::size_t i = out.instances[n];
+        CompilationResult instance = plan.compileInstance(i);
+        const std::size_t num_clbits =
+            instance.scheduled.numClbits();
+        const auto variant = compiledVariant(instance.scheduled,
+                                             opts.cacheVariants);
+        out.fingerprints[n] = variant->fingerprint;
+        return {variant, num_clbits};
+    };
+
+    const unsigned threads = ThreadPool::resolveThreads(
+        unsigned(std::max(0, opts.threads)));
+    if (threads <= 1) {
+        for (std::size_t n = 0; n < out.instances.size(); ++n) {
+            const auto [variant, num_clbits] = compileAndRecord(n);
+            const auto &ordinals = ordinals_of[out.instances[n]];
+            simulateOrdinals(*variant, num_clbits, ordinals, 0,
+                             ordinals.size());
+        }
+        return out;
+    }
+
+    // Same fused shape as runEnsemble: each compile task streams its
+    // variant into simulation sub-tasks on the one pool.
+    ThreadPool &workers = pool(threads);
+    const int subtasks = std::max(
+        1, int(threads) * 2 /
+               std::max<int>(1, int(out.instances.size())));
+    for (std::size_t n = 0; n < out.instances.size(); ++n) {
+        workers.submit([&, n] {
+            const auto compiled = compileAndRecord(n);
+            const auto variant = compiled.first;
+            const std::size_t num_clbits = compiled.second;
+            // Outlives this task (ordinals_of is alive until the
+            // wait() below), so sub-tasks take a stable pointer.
+            const std::vector<std::size_t> *ordinals =
+                &ordinals_of[out.instances[n]];
+            for (const auto &[o0, o1] :
+                 splitRange(int(ordinals->size()), subtasks)) {
+                workers.submit([&, variant, num_clbits, ordinals,
+                                o0 = o0, o1 = o1] {
+                    simulateOrdinals(*variant, num_clbits,
+                                     *ordinals, std::size_t(o0),
+                                     std::size_t(o1));
+                });
+            }
+        });
+    }
+    workers.wait();
+    return out;
 }
 
 std::size_t

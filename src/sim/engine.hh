@@ -76,6 +76,39 @@ struct RunResult
     double mean(std::size_t k = 0) const { return means.at(k); }
 };
 
+/**
+ * Reduce a trajectories x observables slot matrix (trajectory-major)
+ * into means and standard errors with the engine's fixed-order
+ * pairwise reduction.  This is THE reduction: every engine result --
+ * single-process or merged from shards (sim/shard.hh) -- goes
+ * through it over the same slot ordering, which is what makes
+ * S shards x any thread count bit-identical to one process.
+ */
+RunResult reduceTrajectorySlots(const std::vector<double> &slots,
+                                std::size_t trajectories,
+                                std::size_t observables);
+
+/**
+ * Raw output of one shard of a sharded ensemble run: the observable
+ * slot values of the trajectories this shard owns, plus compilation
+ * provenance so a merger can verify that every shard compiled the
+ * same schedules.  Shard k of S owns global trajectories
+ * t = k, k + S, k + 2S, ...; slots stores them ordinal-major
+ * (slots[j * K + c] is observable c of the j-th owned trajectory,
+ * i.e. global trajectory k + j * S).
+ */
+struct ShardSlots
+{
+    /** Raw observable values, K per owned trajectory. */
+    std::vector<double> slots;
+
+    /** Ensemble instances this shard compiled, ascending. */
+    std::vector<std::uint32_t> instances;
+
+    /** Schedule fingerprint of each compiled instance. */
+    std::vector<std::uint64_t> fingerprints;
+};
+
 /** Configuration of a fused compile->simulate ensemble run. */
 struct EnsembleRunOptions
 {
@@ -154,6 +187,31 @@ class SimulationEngine
                           const std::vector<PauliString> &observables,
                           const EnsembleRunOptions &opts);
 
+    /**
+     * Run shard `shard_index` of a `shard_count`-way split of the
+     * ensemble run described by opts: compile and simulate only the
+     * trajectories t with t = shard_index (mod shard_count), and
+     * only the instances those trajectories execute (exactly the
+     * instances i = shard_index (mod shard_count) when shard_count
+     * divides the instance count).  Returns the raw slot matrix
+     * instead of reduced means so that mergeShards (sim/shard.hh)
+     * can reassemble the single-process reduction order.
+     *
+     * Because trajectory t always draws the RNG stream (opts.seed,
+     * t) and instance i always compiles from (opts.compileSeed,
+     * i + 7001), the slot values are independent of the shard
+     * decomposition, the host, and the thread count: merging the S
+     * shards of any split is bit-identical to runEnsemble().
+     * runEnsemble() is equivalent to the merge of this call's
+     * results over every shard of any S.
+     */
+    ShardSlots runShard(const LayeredCircuit &logical,
+                        PassManager &pipeline,
+                        const std::vector<PauliString> &observables,
+                        const EnsembleRunOptions &opts,
+                        std::uint32_t shard_index,
+                        std::uint32_t shard_count);
+
     const Backend &backend() const { return _backend; }
     const NoiseModel &noise() const { return _noise; }
 
@@ -161,6 +219,16 @@ class SimulationEngine
 
     /** Compiled variants currently cached. */
     std::size_t variantCacheSize() const;
+
+    /**
+     * Cache bound: an insert that would exceed it resets the whole
+     * cache first (epoch eviction; see kMaxCachedVariants).
+     */
+    static constexpr std::size_t
+    variantCacheCapacity()
+    {
+        return kMaxCachedVariants;
+    }
 
     /** Lookups served from the cache since construction. */
     std::size_t variantCacheHits() const;
@@ -202,10 +270,6 @@ class SimulationEngine
 
     /** Pool sized to `threads`, recreated only on size change. */
     ThreadPool &pool(unsigned threads);
-
-    RunResult reduceSlots(std::vector<double> slots,
-                          std::size_t trajectories,
-                          std::size_t observables) const;
 };
 
 } // namespace casq

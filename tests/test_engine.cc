@@ -183,6 +183,61 @@ TEST(Engine, VariantCacheReturnsIdenticalResultsToColdCompile)
     EXPECT_EQ(warm.variantCacheSize(), 0u);
 }
 
+TEST(Engine, VariantCacheEpochEvictionAcrossCapacityBoundary)
+{
+    // The cache holds at most variantCacheCapacity() compiled
+    // variants; an insert beyond that resets the WHOLE cache (epoch
+    // eviction) before inserting.  Pin the hit/miss/size counters
+    // across that boundary, which the other tests never reach.
+    const Backend backend = makeFakeLinear(2, 1);
+    SimulationEngine engine(backend, NoiseModel::standard());
+    const std::size_t cap = SimulationEngine::variantCacheCapacity();
+
+    ExecutionOptions opts;
+    opts.trajectories = 1;
+    opts.seed = 3;
+    opts.threads = 1;
+    const std::vector<PauliString> obs{
+        PauliString::fromLabel("ZI")};
+    // Distinct rz angles give pairwise distinct schedules, so every
+    // i names its own cache entry.
+    const auto schedule_of = [&](std::size_t i) {
+        Circuit circuit(2, 0);
+        circuit.rz(0, 1e-3 * double(i + 1)).sx(0);
+        return scheduleASAP(circuit, backend.durations());
+    };
+
+    // Fill to capacity: all misses, nothing evicted.
+    for (std::size_t i = 0; i < cap; ++i)
+        engine.run(schedule_of(i), obs, opts);
+    EXPECT_EQ(engine.variantCacheSize(), cap);
+    EXPECT_EQ(engine.variantCacheMisses(), cap);
+    EXPECT_EQ(engine.variantCacheHits(), 0u);
+
+    // A working set that fits the bound never loses an entry.
+    engine.run(schedule_of(0), obs, opts);
+    EXPECT_EQ(engine.variantCacheHits(), 1u);
+    EXPECT_EQ(engine.variantCacheSize(), cap);
+
+    // One past capacity: the epoch flips, so the new entry is the
+    // only survivor...
+    const RunResult cold = engine.run(schedule_of(cap), obs, opts);
+    EXPECT_EQ(engine.variantCacheSize(), 1u);
+    EXPECT_EQ(engine.variantCacheMisses(), cap + 1);
+    EXPECT_EQ(engine.variantCacheHits(), 1u);
+
+    // ...pre-boundary schedules recompile (a miss, re-cached)...
+    engine.run(schedule_of(0), obs, opts);
+    EXPECT_EQ(engine.variantCacheMisses(), cap + 2);
+    EXPECT_EQ(engine.variantCacheSize(), 2u);
+
+    // ...post-boundary schedules hit, with bit-identical results.
+    const RunResult warm = engine.run(schedule_of(cap), obs, opts);
+    EXPECT_EQ(engine.variantCacheHits(), 2u);
+    EXPECT_EQ(engine.variantCacheSize(), 2u);
+    expectBitIdentical(warm, cold, "across the epoch boundary");
+}
+
 TEST(Engine, ClassicalRegisterSizedToWidestVariant)
 {
     // Variant 0 has no classical bits; variant 1 measures into bit
