@@ -8,11 +8,13 @@
 #ifndef CASQ_BENCH_BENCH_COMMON_HH
 #define CASQ_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -25,6 +27,32 @@
 namespace casq::bench {
 
 /**
+ * Quote and escape a string for JSON emission.  Every string the
+ * BENCH_*.json writer outputs -- field values, field keys, and the
+ * bench name -- goes through this one helper, so no caller can
+ * leak an unescaped quote, backslash, or control character into
+ * the artifacts CI consumes.
+ */
+inline std::string
+jsonQuote(const std::string &text)
+{
+    std::string quoted = "\"";
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            quoted += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            quoted += buf;
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/**
  * Ordered key/value field list of one JSON object.  Insertion order
  * is emission order, so output is deterministic and diffs clean.
  */
@@ -34,20 +62,7 @@ class JsonFields
     JsonFields &
     add(const std::string &key, const std::string &value)
     {
-        std::string quoted = "\"";
-        for (char c : value) {
-            if (c == '"' || c == '\\')
-                quoted += '\\';
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                quoted += buf;
-            } else {
-                quoted += c;
-            }
-        }
-        quoted += '"';
-        return raw(key, std::move(quoted));
+        return raw(key, jsonQuote(value));
     }
 
     JsonFields &
@@ -134,16 +149,17 @@ class BenchJsonWriter
             std::cerr << "cannot write " << path << "\n";
             std::exit(1);
         }
-        out << "{\n  \"bench\": \"" << _bench << "\",\n";
+        out << "{\n  \"bench\": " << jsonQuote(_bench) << ",\n";
         for (const auto &[key, value] : _meta.fields())
-            out << "  \"" << key << "\": " << value << ",\n";
+            out << "  " << jsonQuote(key) << ": " << value
+                << ",\n";
         out << "  \"samples\": [\n";
         for (std::size_t i = 0; i < _samples.size(); ++i) {
             out << "    {";
             const auto &fields = _samples[i].fields();
             for (std::size_t f = 0; f < fields.size(); ++f)
-                out << "\"" << fields[f].first
-                    << "\": " << fields[f].second
+                out << jsonQuote(fields[f].first) << ": "
+                    << fields[f].second
                     << (f + 1 < fields.size() ? ", " : "");
             out << "}" << (i + 1 < _samples.size() ? "," : "")
                 << "\n";
@@ -157,6 +173,95 @@ class BenchJsonWriter
     JsonFields _meta;
     std::vector<JsonFields> _samples;
 };
+
+// ---------------------------------------- checked flag parsing
+//
+// `std::atoi`-style parsing silently turned `--shards junk` into 0
+// and `--instances -3` into a negative count that only failed far
+// downstream.  Every numeric CLI flag of the tools and benches goes
+// through these helpers instead: the whole token must parse and lie
+// in the stated range, or the process prints a diagnostic naming
+// the flag and exits nonzero.
+
+/** Parse an integer flag value in [min, max] or exit(1). */
+inline long long
+checkedInt(const char *flag, const char *text, long long min_value,
+           long long max_value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        v < min_value || v > max_value) {
+        std::cerr << flag << ": expected an integer in ["
+                  << min_value << ", " << max_value << "], got '"
+                  << text << "'\n";
+        std::exit(1);
+    }
+    return v;
+}
+
+/** Parse a full-range unsigned 64-bit flag (seeds) or exit(1). */
+inline std::uint64_t
+checkedUInt64(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    // strtoull silently wraps negative input; reject the sign.
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        std::cerr << flag
+                  << ": expected a non-negative integer, got '"
+                  << text << "'\n";
+        std::exit(1);
+    }
+    return std::uint64_t(v);
+}
+
+/** Parse a finite positive double flag (scales) or exit(1). */
+inline double
+checkedPositiveDouble(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !(v > 0.0) || v > 1e12) {
+        std::cerr << flag
+                  << ": expected a positive number, got '" << text
+                  << "'\n";
+        std::exit(1);
+    }
+    return v;
+}
+
+/**
+ * Split a comma-separated list flag (e.g. --threads-list 1,2,8)
+ * into checked integers in [min, max]; empty items or an empty
+ * list are rejected like any other malformed value.
+ */
+inline std::vector<long long>
+checkedIntList(const char *flag, const char *text,
+               long long min_value, long long max_value)
+{
+    std::vector<long long> values;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(checkedInt(flag, item.c_str(), min_value,
+                                    max_value));
+    // getline never yields the final empty item, so a trailing
+    // comma would otherwise slip through where ",1" and "1,,2"
+    // are rejected.
+    const std::size_t len = std::strlen(text);
+    if (values.empty() || (len > 0 && text[len - 1] == ',')) {
+        std::cerr << flag << ": expected a comma-separated list, "
+                  << "got '" << text << "'\n";
+        std::exit(1);
+    }
+    return values;
+}
 
 /** Runtime knobs shared by all figure benches. */
 struct BenchConfig
@@ -189,8 +294,11 @@ inline BenchConfig
 parseArgs(int argc, char **argv)
 {
     BenchConfig config;
+    constexpr long long kMaxInt =
+        std::numeric_limits<int>::max();
     if (const char *env = std::getenv("CASQ_TRAJ"))
-        config.trajectories = std::atoi(env);
+        config.trajectories =
+            int(checkedInt("CASQ_TRAJ", env, 1, kMaxInt));
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
             if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
@@ -198,16 +306,18 @@ parseArgs(int argc, char **argv)
             return nullptr;
         };
         if (const char *v = next("--traj"))
-            config.trajectories = std::atoi(v);
+            config.trajectories =
+                int(checkedInt("--traj", v, 1, kMaxInt));
         else if (const char *v = next("--twirls"))
-            config.twirlInstances = std::atoi(v);
+            config.twirlInstances =
+                int(checkedInt("--twirls", v, 1, kMaxInt));
         else if (const char *v = next("--seed"))
-            config.seed = std::strtoull(v, nullptr, 10);
+            config.seed = checkedUInt64("--seed", v);
         else if (const char *v = next("--scale"))
-            config.scale = std::atof(v);
+            config.scale = checkedPositiveDouble("--scale", v);
         else if (const char *v = next("--threads"))
-            config.threads =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            config.threads = unsigned(
+                checkedInt("--threads", v, 0, 4096));
         else if (const char *v = next("--strategy")) {
             config.onlyStrategy = strategyFromName(v);
             if (!config.onlyStrategy) {

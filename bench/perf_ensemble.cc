@@ -3,23 +3,27 @@
  * Ensemble-compilation throughput: serial vs. parallel vs.
  * prefix-cached (PassManager::runEnsemble).
  *
- * Two workloads bound the design space:
+ * Three workload families bound the design space:
  *
- *  - "twirled": the paper's dominant workload, a Pauli-twirled
- *    CA-DD pipeline.  Twirling is the FIRST pass, so the prefix
- *    cache is inert and all scaling comes from the work-stealing
- *    thread pool.
+ *  - "twirl-first" / "late-twirl": the paper's dominant workload, a
+ *    Pauli-twirled CA-DD pipeline, in both orderings.  Twirl-first
+ *    (the historical stock ordering) recompiles the lowering per
+ *    instance; the stock late-twirl ordering compiles the
+ *    twirl-plan + flatten prefix once per ensemble, and this bench
+ *    reports the cached-vs-uncached compile throughput head to
+ *    head.  Every late-twirl configuration is byte-compared against
+ *    the serial twirl-first schedules, so the timing run doubles as
+ *    the cross-ordering equivalence gate.
  *
- *  - "late-stochastic": a pipeline whose only stochastic pass (a
- *    random readout frame) runs LAST, so flatten + schedule + ca-dd
- *    compile once and every instance forks from the cached prefix
- *    snapshot.
+ *  - per-strategy sweep: cached late-twirl vs uncached twirl-first
+ *    for every stock strategy, same byte-identity gate.
  *
- * Every configuration is checked byte-for-byte against the serial
- * uncached schedules before its timing is reported -- a wrong
- * parallel result fails the bench, so CI timing runs double as a
- * correctness gate.  Use --json FILE to append the numbers to the
- * BENCH_*.json trajectory.
+ *  - "late-stochastic": a synthetic pipeline whose only stochastic
+ *    pass (a random readout frame) runs LAST, bounding what prefix
+ *    caching can ever save (flatten + schedule + ca-dd all cached).
+ *
+ * Use --json FILE to append the numbers to the BENCH_*.json
+ * trajectory.
  *
  *   $ ./perf_ensemble --instances 100 --threads-list 1,2,4,8
  *   $ ./perf_ensemble --json BENCH_perf_ensemble.json
@@ -30,6 +34,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -85,6 +90,34 @@ class RandomFramePass : public Pass
     }
 };
 
+/**
+ * Canonical-block chain (the paper's Heisenberg workload shape,
+ * Fig. 7): under --native lowering every can block resynthesizes
+ * into its 3-CX fragment, which is exactly the per-instance cost
+ * the late-twirl prefix removes.
+ */
+LayeredCircuit
+canChainWorkload(std::size_t n, int depth)
+{
+    LayeredCircuit circuit(n, 0);
+    for (int d = 0; d < depth; ++d) {
+        Layer gates{LayerKind::TwoQubit, {}};
+        const std::uint32_t offset = (d % 2) ? 1 : 0;
+        for (std::uint32_t q = offset; q + 1 < n; q += 2)
+            gates.insts.emplace_back(
+                Op::Can, std::vector<std::uint32_t>{q, q + 1},
+                std::vector<double>{0.3, 0.2, 0.1});
+        circuit.addLayer(std::move(gates));
+        Layer idle{LayerKind::OneQubit, {}};
+        for (std::uint32_t q = 0; q < n; ++q)
+            idle.insts.emplace_back(
+                Op::Delay, std::vector<std::uint32_t>{q},
+                std::vector<double>{600.0});
+        circuit.addLayer(std::move(idle));
+    }
+    return circuit;
+}
+
 /** One measured configuration. */
 struct Sample
 {
@@ -132,20 +165,23 @@ parse(int argc, char **argv)
             usage(argv[0]);
             std::exit(0);
         } else if (const char *v = value("--instances")) {
-            options.instances = std::atoi(v);
+            options.instances = int(bench::checkedInt(
+                "--instances", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--qubits")) {
-            options.qubits = std::strtoull(v, nullptr, 10);
+            options.qubits = std::size_t(
+                bench::checkedInt("--qubits", v, 1, 1 << 20));
         } else if (const char *v = value("--depth")) {
-            options.depth = std::atoi(v);
+            options.depth = int(bench::checkedInt(
+                "--depth", v, 0,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--seed")) {
-            options.seed = std::strtoull(v, nullptr, 10);
+            options.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v = value("--threads-list")) {
             options.threadsList.clear();
-            std::stringstream ss(v);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                options.threadsList.push_back(
-                    static_cast<unsigned>(std::atoi(item.c_str())));
+            for (long long t : bench::checkedIntList(
+                     "--threads-list", v, 0, 4096))
+                options.threadsList.push_back(unsigned(t));
         } else if (const char *v = value("--json")) {
             options.jsonPath = v;
         } else {
@@ -253,13 +289,22 @@ main(int argc, char **argv)
 
     std::vector<Sample> all;
 
-    // ---------------------------------------------- twirled CA-DD
-    // Twirl is the first pass: no deterministic prefix, pure
-    // thread-pool scaling (the paper's Figs. 3-10 workload shape).
-    CompileOptions compile;
-    compile.strategy = Strategy::CaDd;
-    compile.twirl = true;
-    PassManager twirled = buildPipeline(compile);
+    // ------------------------------- twirled CA-DD, both orderings
+    // The paper's Figs. 3-10 workload shape.  Twirl-first is the
+    // historical stock ordering (prefix cache nearly inert); the
+    // stock late-twirl ordering compiles the lowering prefix once
+    // per ensemble.  The serial twirl-first schedules are the
+    // reference every other configuration must reproduce byte for
+    // byte -- including the late-twirl ones, which makes this the
+    // cross-ordering equivalence gate.
+    CompileOptions first_options;
+    first_options.strategy = Strategy::CaDd;
+    first_options.lateTwirl = false;
+    PassManager twirl_first = buildPipeline(first_options);
+
+    CompileOptions late_options;
+    late_options.strategy = Strategy::CaDd;
+    PassManager late_twirl = buildPipeline(late_options);
 
     EnsembleOptions ensemble;
     ensemble.instances = options.instances;
@@ -268,25 +313,110 @@ main(int argc, char **argv)
     ensemble.prefixCache = false;
 
     EnsembleResult serial =
-        twirled.runEnsemble(logical, backend, ensemble);
+        twirl_first.runEnsemble(logical, backend, ensemble);
     const auto twirled_expected = fingerprints(serial);
     Sample serial_sample;
-    serial_sample.workload = "twirled";
+    serial_sample.workload = "twirl-first";
     serial_sample.wallMillis = serial.wallMillis;
     serial_sample.instances = int(serial.instances.size());
     all.push_back(serial_sample);
 
     std::vector<Sample> twirled_samples{serial_sample};
+    // Uncached vs cached late twirl, serial: the headline compile-
+    // throughput win of reordering twirl past the lowering.
+    for (bool cached : {false, true}) {
+        ensemble.threads = 1;
+        ensemble.prefixCache = cached;
+        all.push_back(measure("late-twirl", late_twirl, logical,
+                              backend, ensemble,
+                              twirled_expected));
+        twirled_samples.push_back(all.back());
+    }
     for (unsigned threads : options.threadsList) {
         if (threads <= 1)
             continue;
         ensemble.threads = threads;
-        ensemble.prefixCache = true; // bypassed: prefix length 0
-        all.push_back(measure("twirled", twirled, logical, backend,
-                              ensemble, twirled_expected));
+        ensemble.prefixCache = true;
+        all.push_back(measure("late-twirl", late_twirl, logical,
+                              backend, ensemble,
+                              twirled_expected));
         twirled_samples.push_back(all.back());
     }
     report(twirled_samples, serial_sample.wallMillis);
+
+    // ------------------------------------- every stock strategy
+    // Cached late-twirl vs uncached twirl-first, serial, per
+    // strategy (the CA-EC strategies keep twirl-first internally
+    // and only cache the twirl-plan prefix).
+    for (Strategy strategy : allStrategies()) {
+        CompileOptions baseline;
+        baseline.strategy = strategy;
+        baseline.lateTwirl = false;
+        PassManager first_pipeline = buildPipeline(baseline);
+
+        CompileOptions stock;
+        stock.strategy = strategy;
+        PassManager stock_pipeline = buildPipeline(stock);
+
+        ensemble.threads = 1;
+        ensemble.prefixCache = false;
+        EnsembleResult reference = first_pipeline.runEnsemble(
+            logical, backend, ensemble);
+        Sample base_sample;
+        base_sample.workload = strategyName(strategy) + ":first";
+        base_sample.wallMillis = reference.wallMillis;
+        base_sample.instances = int(reference.instances.size());
+        all.push_back(base_sample);
+
+        ensemble.prefixCache = true;
+        all.push_back(measure(strategyName(strategy) + ":late",
+                              stock_pipeline, logical, backend,
+                              ensemble, fingerprints(reference)));
+        report({base_sample, all.back()},
+               base_sample.wallMillis);
+    }
+
+    // --------------------------------- heisenberg, native lowering
+    // Canonical blocks under --native: the twirl-first ordering
+    // resynthesizes every can block per twirled instance, the
+    // late-twirl ordering pays transpilation once in the prefix.
+    {
+        const LayeredCircuit heisenberg =
+            canChainWorkload(options.qubits, options.depth / 2);
+
+        CompileOptions first_native;
+        first_native.strategy = Strategy::CaDd;
+        first_native.lowerToNative = true;
+        first_native.lateTwirl = false;
+        PassManager first_pipeline = buildPipeline(first_native);
+
+        CompileOptions late_native;
+        late_native.strategy = Strategy::CaDd;
+        late_native.lowerToNative = true;
+        PassManager late_pipeline = buildPipeline(late_native);
+
+        ensemble.threads = 1;
+        ensemble.prefixCache = false;
+        EnsembleResult reference = first_pipeline.runEnsemble(
+            heisenberg, backend, ensemble);
+        Sample base_sample;
+        base_sample.workload = "heisenberg:first";
+        base_sample.wallMillis = reference.wallMillis;
+        base_sample.instances = int(reference.instances.size());
+        all.push_back(base_sample);
+
+        std::vector<Sample> native_samples{base_sample};
+        const auto native_expected = fingerprints(reference);
+        for (bool cached : {false, true}) {
+            ensemble.prefixCache = cached;
+            all.push_back(measure("heisenberg:late",
+                                  late_pipeline, heisenberg,
+                                  backend, ensemble,
+                                  native_expected));
+            native_samples.push_back(all.back());
+        }
+        report(native_samples, base_sample.wallMillis);
+    }
 
     // ------------------------------------------- late stochastic
     // Deterministic flatten + schedule + ca-dd prefix, stochastic

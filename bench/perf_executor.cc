@@ -33,6 +33,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -103,22 +104,27 @@ parse(int argc, char **argv)
             usage(argv[0]);
             std::exit(0);
         } else if (const char *v = value("--traj")) {
-            options.trajectories = std::atoi(v);
+            options.trajectories = int(bench::checkedInt(
+                "--traj", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--instances")) {
-            options.instances = std::atoi(v);
+            options.instances = int(bench::checkedInt(
+                "--instances", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--qubits")) {
-            options.qubits = std::strtoull(v, nullptr, 10);
+            options.qubits = std::size_t(
+                bench::checkedInt("--qubits", v, 1, 1 << 20));
         } else if (const char *v = value("--depth")) {
-            options.depth = std::atoi(v);
+            options.depth = int(bench::checkedInt(
+                "--depth", v, 0,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--seed")) {
-            options.seed = std::strtoull(v, nullptr, 10);
+            options.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v = value("--threads-list")) {
             options.threadsList.clear();
-            std::stringstream ss(v);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                options.threadsList.push_back(
-                    static_cast<unsigned>(std::atoi(item.c_str())));
+            for (long long t : bench::checkedIntList(
+                     "--threads-list", v, 0, 4096))
+                options.threadsList.push_back(unsigned(t));
         } else if (const char *v = value("--json")) {
             options.jsonPath = v;
         } else {

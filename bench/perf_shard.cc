@@ -23,6 +23,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -93,24 +94,30 @@ parse(int argc, char **argv)
             usage(argv[0]);
             std::exit(0);
         } else if (const char *v = value("--traj")) {
-            options.trajectories = std::atoi(v);
+            options.trajectories = int(bench::checkedInt(
+                "--traj", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--instances")) {
-            options.instances = std::atoi(v);
+            options.instances = int(bench::checkedInt(
+                "--instances", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--qubits")) {
-            options.qubits = std::strtoull(v, nullptr, 10);
+            options.qubits = std::size_t(
+                bench::checkedInt("--qubits", v, 1, 1 << 20));
         } else if (const char *v = value("--depth")) {
-            options.depth = std::atoi(v);
+            options.depth = int(bench::checkedInt(
+                "--depth", v, 0,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--seed")) {
-            options.seed = std::strtoull(v, nullptr, 10);
+            options.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v = value("--threads")) {
-            options.threads = std::atoi(v);
+            options.threads =
+                int(bench::checkedInt("--threads", v, 0, 4096));
         } else if (const char *v = value("--shards-list")) {
             options.shardsList.clear();
-            std::stringstream ss(v);
-            std::string item;
-            while (std::getline(ss, item, ','))
-                options.shardsList.push_back(std::uint32_t(
-                    std::strtoul(item.c_str(), nullptr, 10)));
+            for (long long s : bench::checkedIntList(
+                     "--shards-list", v, 1, 1 << 20))
+                options.shardsList.push_back(std::uint32_t(s));
         } else if (const char *v = value("--json")) {
             options.jsonPath = v;
         } else {
@@ -202,6 +209,30 @@ main(int argc, char **argv)
     serial.trajectories = reference.trajectories;
 
     std::vector<Sample> all{serial};
+
+    // Same fused run with the pass-prefix cache disabled: the stock
+    // paper pipelines twirl late, so the cached run shares the
+    // lowering prefix across instances while this one recompiles it
+    // per instance.  The estimates must not move by a single bit.
+    {
+        ShardSpec uncached_spec = spec;
+        uncached_spec.prefixCache = false;
+        PassManager uncached_pipeline =
+            uncached_spec.makePipeline();
+        SimulationEngine uncached_engine(backend,
+                                         NoiseModel::standard());
+        begin = std::chrono::steady_clock::now();
+        const RunResult uncached = uncached_engine.runEnsemble(
+            uncached_spec.logical, uncached_pipeline,
+            uncached_spec.observables,
+            uncached_spec.runOptions(options.threads));
+        Sample s;
+        s.config = "no-cache";
+        s.wallMillis = wallMillisSince(begin);
+        s.trajectories = uncached.trajectories;
+        requireByteIdentical(uncached, reference, 1);
+        all.push_back(s);
+    }
 
     // ------------------------------------------- S serialized shards
     // Full protocol per shard: encode spec -> decode -> execute ->

@@ -20,13 +20,39 @@ void
 TwirlPass::run(PassContext &context)
 {
     LayeredCircuit twirled =
-        pauliTwirl(context.layered(), context.rng(), _cache);
+        pauliTwirl(context.layered(), context.rng(), *_cache);
     std::size_t gates = 0;
     for (const Layer &layer : twirled.layers())
         for (const Instruction &inst : layer.insts)
             gates += inst.tag == InstTag::Twirl;
     context.setProperty(kTwirlGatesKey, gates);
     context.setLayered(std::move(twirled));
+}
+
+void
+TwirlPlanPass::run(PassContext &context)
+{
+    TwirlPlan plan = makeTwirlPlan(context.layered());
+    // Build each distinct gate's conjugation table now, in the
+    // (once-per-ensemble) prefix, so no twirl instance pays for it.
+    for (const TwirlPlan::LayerGates &target : plan.targets)
+        for (const Instruction &gate : target.gates)
+            _cache->tableFor(gate);
+    if (_publishPlan)
+        context.setProperty(kTwirlPlanKey, std::move(plan));
+}
+
+void
+LateTwirlPass::run(PassContext &context)
+{
+    const TwirlPlan &plan =
+        context.requireProperty<TwirlPlan>(kTwirlPlanKey);
+    std::size_t frames = 0;
+    context.setFlat(lateTwirl(context.flat(), plan, context.rng(),
+                              *_cache,
+                              _native ? &*_native : nullptr,
+                              &frames));
+    context.setProperty(kTwirlGatesKey, frames);
 }
 
 void

@@ -13,6 +13,9 @@
 #ifndef CASQ_PASSES_BUILTIN_HH
 #define CASQ_PASSES_BUILTIN_HH
 
+#include <memory>
+#include <optional>
+
 #include "circuit/unitary.hh"
 #include "passes/ca_dd.hh"
 #include "passes/ca_ec.hh"
@@ -23,6 +26,9 @@ namespace casq {
 
 /** Property: number of twirl gates inserted (std::size_t). */
 inline constexpr const char kTwirlGatesKey[] = "twirl.gates";
+
+/** Property: twirl blueprint for the late-twirl pass (TwirlPlan). */
+inline constexpr const char kTwirlPlanKey[] = "twirl.plan";
 
 /** Property: CA-EC bookkeeping (CaecStats). */
 inline constexpr const char kCaecStatsKey[] = "caec.stats";
@@ -36,17 +42,98 @@ inline constexpr const char kDdPulsesKey[] = "dd.pulses";
 /**
  * Pauli-twirl the two-qubit layers (Layered stage).  The
  * conjugation-table cache persists across run() calls, so reusing
- * one manager across an ensemble builds each table once.
+ * one manager across an ensemble builds each table once; passing a
+ * shared cache lets a pipeline's twirl-plan prefix pass pre-build
+ * the tables once per ensemble instead.
  */
 class TwirlPass : public Pass
 {
   public:
+    explicit TwirlPass(
+        std::shared_ptr<TwirlTableCache> cache = nullptr)
+        : _cache(cache ? std::move(cache)
+                       : std::make_shared<TwirlTableCache>())
+    {
+    }
+
     std::string name() const override { return "pauli-twirl"; }
     void run(PassContext &context) override;
     bool isStochastic() const override { return true; }
 
   private:
-    TwirlTableCache _cache;
+    std::shared_ptr<TwirlTableCache> _cache;
+};
+
+/**
+ * Analysis-only pass (Layered stage, deterministic): publish the
+ * twirl blueprint under kTwirlPlanKey and pre-build the conjugation
+ * table of every targeted two-qubit gate into the shared cache.
+ * Running in the deterministic prefix of an ensemble pipeline, it
+ * moves both the blueprint capture and the numeric table
+ * construction out of the per-instance suffix.
+ *
+ * Pass publish_plan = false when no LateTwirlPass follows (the
+ * twirl-first orderings): the table warm-up still happens but the
+ * blueprint is not stored, so per-instance context forks do not
+ * copy a gate list nothing reads.
+ */
+class TwirlPlanPass : public Pass
+{
+  public:
+    explicit TwirlPlanPass(
+        std::shared_ptr<TwirlTableCache> cache = nullptr,
+        bool publish_plan = true)
+        : _cache(cache ? std::move(cache)
+                       : std::make_shared<TwirlTableCache>()),
+          _publishPlan(publish_plan)
+    {
+    }
+
+    std::string name() const override { return "twirl-plan"; }
+    void run(PassContext &context) override;
+
+    const std::shared_ptr<TwirlTableCache> &cache() const
+    {
+        return _cache;
+    }
+
+  private:
+    std::shared_ptr<TwirlTableCache> _cache;
+    bool _publishPlan;
+};
+
+/**
+ * Insert the Pauli-twirl frames into the lowered circuit (Flat
+ * stage, after flatten and any transpile) from the blueprint a
+ * TwirlPlanPass published.  Byte-for-byte equivalent to twirling
+ * first at the same seed -- see lateTwirl() in twirling.hh for the
+ * contract -- but because everything before this pass is
+ * deterministic, ensemble compilation shares the flatten/transpile
+ * prefix across all instances instead of recompiling it per twirl.
+ *
+ * Construct with the pipeline's TranspileOptions when the pipeline
+ * lowers to the native gate set, so the frame gates receive the
+ * identical lowering the twirl-first ordering would have applied.
+ */
+class LateTwirlPass : public Pass
+{
+  public:
+    explicit LateTwirlPass(
+        std::shared_ptr<TwirlTableCache> cache = nullptr,
+        std::optional<TranspileOptions> native = std::nullopt)
+        : _cache(cache ? std::move(cache)
+                       : std::make_shared<TwirlTableCache>()),
+          _native(native)
+    {
+    }
+
+    std::string name() const override { return "late-twirl"; }
+    void run(PassContext &context) override;
+    bool isStochastic() const override { return true; }
+
+  private:
+    std::shared_ptr<TwirlTableCache> _cache;
+    std::optional<TranspileOptions> _native;
 };
 
 /** Context-aware error compensation (Layered stage). */

@@ -104,12 +104,16 @@ splitGroup(std::vector<IdleWindow> group, double min_duration,
             clipped.end = std::min(w.end, span_end);
             if (clipped.duration() >= min_duration)
                 joint.members.push_back(clipped);
-            // Residual pieces outside the span.
-            if (w.start < span_start - min_duration) {
+            // Residual pieces outside the span.  Like every other
+            // window in this pass, a residual of exactly
+            // min_duration is still worth decoupling (the >= Dmin
+            // convention of Algorithm 1); the recursion drops
+            // anything shorter.
+            if (w.start <= span_start - min_duration) {
                 before.push_back(
                     IdleWindow{w.qubit, w.start, span_start});
             }
-            if (w.end > span_end + min_duration) {
+            if (w.end >= span_end + min_duration) {
                 after.push_back(
                     IdleWindow{w.qubit, span_end, w.end});
             }

@@ -157,6 +157,8 @@ PassManager::planEnsemble(const LayeredCircuit &logical,
         plan._snapshot.emplace(logical, backend, *plan._prefixRng);
         plan._prefixMetrics = runRange(*plan._snapshot, 0, prefix);
         plan._prefixLength = prefix;
+        plan._prefixHits =
+            std::make_unique<std::atomic<std::size_t>>(0);
     }
     return plan;
 }
@@ -171,6 +173,7 @@ EnsemblePlan::compileInstance(std::size_t k) const
     // reproducible against pinned seed outputs.
     Rng rng = _master.derive(std::uint64_t(k) + 7001);
     if (_prefixLength > 0) {
+        _prefixHits->fetch_add(1, std::memory_order_relaxed);
         PassContext context(*_snapshot, rng);
         std::vector<PassMetric> metrics = _prefixMetrics;
         auto suffix = _manager->runRange(context, _prefixLength,
@@ -221,6 +224,7 @@ PassManager::runEnsemble(const LayeredCircuit &logical,
         _pool->wait();
     }
 
+    out.prefixHits = plan.prefixHits();
     out.wallMillis = millisSince(wall_begin);
     return out;
 }

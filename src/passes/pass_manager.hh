@@ -21,6 +21,7 @@
 #ifndef CASQ_PASSES_PASS_MANAGER_HH
 #define CASQ_PASSES_PASS_MANAGER_HH
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -104,6 +105,13 @@ struct EnsembleResult
     std::size_t prefixLength = 0;
     std::vector<PassMetric> prefixMetrics;
 
+    /**
+     * Instance compilations served from the prefix snapshot: equal
+     * to instances.size() when the cache engaged, 0 when it was
+     * bypassed (empty prefix or prefixCache = false).
+     */
+    std::size_t prefixHits = 0;
+
     /** End-to-end wall-clock time of the ensemble compilation. */
     double wallMillis = 0.0;
 };
@@ -146,6 +154,18 @@ class EnsemblePlan
     }
 
     /**
+     * compileInstance() calls served from the prefix snapshot so
+     * far (0 when the plan has no cached prefix).  Safe to read
+     * concurrently with in-flight compilations.
+     */
+    std::size_t prefixHits() const
+    {
+        return _prefixHits
+                   ? _prefixHits->load(std::memory_order_relaxed)
+                   : 0;
+    }
+
+    /**
      * Compile instance k.  Bit-identical to the serial reference:
      * instance k draws from the RNG stream derived as
      * (seed, k + 7001) and its metrics keep one entry per pipeline
@@ -169,6 +189,9 @@ class EnsemblePlan
     /** Heap-pinned so the snapshot's Rng& survives plan moves. */
     std::unique_ptr<Rng> _prefixRng;
     std::optional<PassContext> _snapshot;
+
+    /** Heap-pinned (atomics don't move) snapshot-serve counter. */
+    std::unique_ptr<std::atomic<std::size_t>> _prefixHits;
 };
 
 /** An ordered pass pipeline. */

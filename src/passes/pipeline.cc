@@ -52,8 +52,29 @@ PassManager
 buildPipeline(const CompileOptions &options)
 {
     PassManager manager;
-    if (options.twirl)
-        manager.emplace<TwirlPass>();
+
+    // The CA-EC strategies read the twirl frames at the layered
+    // stage (sign flips through the frames, Algorithm 2), so they
+    // keep the twirl-first ordering; every other strategy defaults
+    // to late twirling on the lowered circuit, which leaves the
+    // whole flatten/(transpile) front end deterministic and
+    // therefore shareable across ensemble instances.
+    const bool uses_caec = options.strategy == Strategy::Ec ||
+                           options.strategy == Strategy::EcAlignedDd ||
+                           options.strategy == Strategy::Combined;
+    const bool late_twirl =
+        options.twirl && options.lateTwirl && !uses_caec;
+
+    std::shared_ptr<TwirlTableCache> tables;
+    if (options.twirl) {
+        // One conjugation-table cache for the whole pipeline: the
+        // plan pass warms it in the deterministic prefix, the twirl
+        // pass (either ordering) samples from it.
+        tables = std::make_shared<TwirlTableCache>();
+        manager.emplace<TwirlPlanPass>(tables, late_twirl);
+        if (!late_twirl)
+            manager.emplace<TwirlPass>(tables);
+    }
 
     // Layered-stage compensation.
     switch (options.strategy) {
@@ -85,6 +106,12 @@ buildPipeline(const CompileOptions &options)
     manager.emplace<FlattenPass>();
     if (options.lowerToNative)
         manager.emplace<TranspilePass>(options.transpile);
+    if (late_twirl)
+        manager.emplace<LateTwirlPass>(
+            tables, options.lowerToNative
+                        ? std::optional<TranspileOptions>(
+                              options.transpile)
+                        : std::nullopt);
     manager.emplace<SchedulePass>();
 
     // Scheduled-stage decoupling.

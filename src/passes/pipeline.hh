@@ -7,9 +7,17 @@
  * CompilationResult with the scheduled circuit plus per-pass
  * timings and diagnostics (pass_manager.hh).  The error-suppression
  * strategies the paper's figures compare are prebuilt pipelines:
- * buildPipeline(options) assembles the pass list for a Strategy --
- * twirl -> (CA-EC variant) -> flatten -> (transpile) -> schedule ->
- * (DD variant) -- from the built-in passes in builtin.hh.
+ * buildPipeline(options) assembles the pass list for a Strategy
+ * from the built-in passes in builtin.hh.  Twirled pipelines are
+ * prefix-friendly by default: twirl-plan -> flatten -> (transpile)
+ * -> late-twirl -> schedule -> (DD variant), so everything before
+ * the stochastic late-twirl pass compiles once per ensemble.  The
+ * CA-EC strategies keep the historical twirl-first ordering
+ * (twirl-plan -> twirl -> CA-EC variant -> flatten -> schedule ->
+ * (DD variant)) because the compensation walk reads the frames at
+ * the layered stage; CompileOptions::lateTwirl = false restores
+ * twirl-first everywhere.  Both orderings produce byte-identical
+ * schedules at the same seed (pinned by tests/test_late_twirl.cc).
  *
  * compileCircuit / compileEnsemble are convenience wrappers that
  * build and run the pipeline in one call; callers that sweep a
@@ -74,6 +82,19 @@ struct CompileOptions
 
     /** Insert Pauli-twirl layers around two-qubit layers. */
     bool twirl = true;
+
+    /**
+     * Sample the twirl frames *after* deterministic lowering
+     * (flatten/transpile) instead of before it, so ensemble
+     * compilation shares the lowered prefix across instances.  The
+     * schedules are byte-identical either way at the same seed;
+     * false restores the historical twirl-first ordering (the
+     * baseline the equivalence tests and CI diff against).  The
+     * CA-EC strategies always twirl first -- their compensation
+     * walk reads the frames at the layered stage -- and only gain
+     * the twirl-plan analysis prefix.
+     */
+    bool lateTwirl = true;
 
     /** Lower to the native {rz, sx, x, cx, rzz} set (expands can). */
     bool lowerToNative = false;

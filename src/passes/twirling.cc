@@ -51,6 +51,40 @@ TwirlTableCache::tableFor(const Instruction &inst)
     return _tables.emplace(key, std::move(table)).first->second;
 }
 
+void
+sampleTwirlFrames(const std::vector<Instruction> &insts, Rng &rng,
+                  TwirlTableCache &cache,
+                  std::vector<Instruction> &pre,
+                  std::vector<Instruction> &post)
+{
+    for (const Instruction &inst : insts) {
+        if (!opIsTwoQubitGate(inst.op))
+            continue;
+        const Conjugation2Q &table = cache.tableFor(inst);
+        const auto &twirl_set = table.twirlSet();
+        casq_assert(!twirl_set.empty(), "empty twirl set");
+        const Pauli2 p =
+            twirl_set[rng.uniformInt(twirl_set.size())];
+        const auto image = table.conjugate(p);
+        casq_assert(image.has_value(),
+                    "twirl Pauli without conjugation image");
+        if (p.op0 != PauliOp::I)
+            pre.push_back(
+                pauliInstruction(p.op0, inst.qubits[0]));
+        if (p.op1 != PauliOp::I)
+            pre.push_back(
+                pauliInstruction(p.op1, inst.qubits[1]));
+        if (image->pauli.op0 != PauliOp::I)
+            post.push_back(
+                pauliInstruction(image->pauli.op0,
+                                 inst.qubits[0]));
+        if (image->pauli.op1 != PauliOp::I)
+            post.push_back(
+                pauliInstruction(image->pauli.op1,
+                                 inst.qubits[1]));
+    }
+}
+
 LayeredCircuit
 pauliTwirl(const LayeredCircuit &circuit, Rng &rng,
            TwirlTableCache &cache)
@@ -63,32 +97,8 @@ pauliTwirl(const LayeredCircuit &circuit, Rng &rng,
         }
         Layer pre{LayerKind::OneQubit, {}};
         Layer post{LayerKind::OneQubit, {}};
-        for (const Instruction &inst : layer.insts) {
-            if (!opIsTwoQubitGate(inst.op))
-                continue;
-            const Conjugation2Q &table = cache.tableFor(inst);
-            const auto &twirl_set = table.twirlSet();
-            casq_assert(!twirl_set.empty(), "empty twirl set");
-            const Pauli2 p =
-                twirl_set[rng.uniformInt(twirl_set.size())];
-            const auto image = table.conjugate(p);
-            casq_assert(image.has_value(),
-                        "twirl Pauli without conjugation image");
-            if (p.op0 != PauliOp::I)
-                pre.insts.push_back(
-                    pauliInstruction(p.op0, inst.qubits[0]));
-            if (p.op1 != PauliOp::I)
-                pre.insts.push_back(
-                    pauliInstruction(p.op1, inst.qubits[1]));
-            if (image->pauli.op0 != PauliOp::I)
-                post.insts.push_back(
-                    pauliInstruction(image->pauli.op0,
-                                     inst.qubits[0]));
-            if (image->pauli.op1 != PauliOp::I)
-                post.insts.push_back(
-                    pauliInstruction(image->pauli.op1,
-                                     inst.qubits[1]));
-        }
+        sampleTwirlFrames(layer.insts, rng, cache, pre.insts,
+                          post.insts);
         if (!pre.insts.empty())
             out.addLayer(std::move(pre));
         out.addLayer(layer);
@@ -103,6 +113,118 @@ pauliTwirl(const LayeredCircuit &circuit, Rng &rng)
 {
     TwirlTableCache cache;
     return pauliTwirl(circuit, rng, cache);
+}
+
+std::size_t
+TwirlPlan::gateCount() const
+{
+    std::size_t n = 0;
+    for (const LayerGates &target : targets)
+        n += target.gates.size();
+    return n;
+}
+
+TwirlPlan
+makeTwirlPlan(const LayeredCircuit &circuit)
+{
+    TwirlPlan plan;
+    plan.layerCount = circuit.layers().size();
+    for (std::size_t li = 0; li < plan.layerCount; ++li) {
+        const Layer &layer = circuit.layers()[li];
+        // Segment recovery in lateTwirl() splits the flat circuit
+        // on the barriers flatten() emits between layers; a barrier
+        // *inside* a layer would shift every segment after it.
+        // Only lateTwirl() cares, so record the fact instead of
+        // rejecting circuits that twirl-first pipelines accept.
+        for (const Instruction &inst : layer.insts)
+            plan.barrierFree &= inst.op != Op::Barrier;
+        if (layer.kind != LayerKind::TwoQubit)
+            continue;
+        TwirlPlan::LayerGates target;
+        target.layer = li;
+        for (const Instruction &inst : layer.insts)
+            if (opIsTwoQubitGate(inst.op))
+                target.gates.push_back(inst);
+        if (!target.gates.empty())
+            plan.targets.push_back(std::move(target));
+    }
+    return plan;
+}
+
+Circuit
+lateTwirl(const Circuit &flat, const TwirlPlan &plan, Rng &rng,
+          TwirlTableCache &cache, const TranspileOptions *native,
+          std::size_t *frames)
+{
+    if (frames)
+        *frames = 0;
+    if (plan.layerCount == 0)
+        return flat;
+    casq_assert(plan.barrierFree,
+                "late twirling requires barrier-free layers "
+                "(a barrier inside a layer shifts the segment "
+                "recovery); compile this circuit twirl-first");
+
+    // Recover the layer segments: flatten() emits exactly one
+    // all-qubit barrier between consecutive layers, and
+    // transpilation passes barriers through untouched.
+    std::vector<std::vector<Instruction>> segments(1);
+    for (const Instruction &inst : flat.instructions()) {
+        if (inst.op == Op::Barrier &&
+            inst.qubits.size() == flat.numQubits())
+            segments.emplace_back();
+        else
+            segments.back().push_back(inst);
+    }
+    casq_assert(segments.size() == plan.layerCount,
+                "flat circuit has ", segments.size(),
+                " barrier segment(s) but the twirl plan was "
+                "captured from ", plan.layerCount, " layer(s)");
+
+    // Frame gates receive the same lowering the twirl-first
+    // pipeline's transpile pass would have applied to them.
+    const auto lowered = [&](std::vector<Instruction> layer) {
+        if (!native)
+            return layer;
+        Circuit staging(flat.numQubits(), flat.numClbits());
+        for (Instruction &inst : layer)
+            staging.append(std::move(inst));
+        return std::move(
+            transpileToNative(staging, *native).instructions());
+    };
+
+    std::vector<std::vector<Instruction>> out_segments;
+    out_segments.reserve(segments.size() + 2 * plan.targets.size());
+    std::size_t next = 0;
+    for (std::size_t li = 0; li < segments.size(); ++li) {
+        if (next >= plan.targets.size() ||
+            plan.targets[next].layer != li) {
+            out_segments.push_back(std::move(segments[li]));
+            continue;
+        }
+        std::vector<Instruction> pre, post;
+        sampleTwirlFrames(plan.targets[next].gates, rng, cache, pre,
+                          post);
+        ++next;
+        if (frames)
+            *frames += pre.size() + post.size();
+        // Empty frame layers are elided before lowering, exactly as
+        // pauliTwirl() skips empty pre/post layers.
+        if (!pre.empty())
+            out_segments.push_back(lowered(std::move(pre)));
+        out_segments.push_back(std::move(segments[li]));
+        if (!post.empty())
+            out_segments.push_back(lowered(std::move(post)));
+    }
+
+    Circuit out(flat.numQubits(), flat.numClbits());
+    for (std::size_t s = 0; s < out_segments.size(); ++s) {
+        for (Instruction &inst : out_segments[s])
+            out.append(std::move(inst));
+        if (s + 1 < out_segments.size())
+            out.barrier();
+    }
+    return out;
 }
 
 } // namespace casq

@@ -16,11 +16,14 @@
 #ifndef CASQ_PASSES_TWIRLING_HH
 #define CASQ_PASSES_TWIRLING_HH
 
+#include <cstddef>
 #include <map>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "circuit/stratify.hh"
+#include "circuit/unitary.hh"
 #include "common/rng.hh"
 #include "pauli/clifford.hh"
 
@@ -58,6 +61,82 @@ LayeredCircuit pauliTwirl(const LayeredCircuit &circuit, Rng &rng,
 
 /** Convenience overload with a private table cache. */
 LayeredCircuit pauliTwirl(const LayeredCircuit &circuit, Rng &rng);
+
+/**
+ * Sample one Pauli frame per two-qubit gate of `insts` (non-2q
+ * instructions are skipped) and append the non-identity frame gates:
+ * the sampled Pauli P before the gate, its conjugation Q = U P
+ * U^dagger after.  This is THE frame sampler -- pauliTwirl() and the
+ * late-twirl pass both call it, which is what makes their rng
+ * consumption (and therefore their sampled frames at a given seed)
+ * identical by construction.
+ */
+void sampleTwirlFrames(const std::vector<Instruction> &insts,
+                       Rng &rng, TwirlTableCache &cache,
+                       std::vector<Instruction> &pre,
+                       std::vector<Instruction> &post);
+
+/**
+ * Deterministic twirl blueprint of a layered circuit: for every
+ * TwoQubit layer, its index and the two-qubit gates pauliTwirl()
+ * would sample frames for, in sampling order.
+ *
+ * The blueprint is captured before lowering (by the twirl-plan
+ * analysis pass) and consumed by the late-twirl pass after
+ * flatten/transpile, where the original gate identities -- needed to
+ * key the conjugation tables -- are no longer recoverable from the
+ * lowered instructions (a canonical block, for example, transpiles
+ * into a multi-gate fragment).
+ */
+struct TwirlPlan
+{
+    struct LayerGates
+    {
+        std::size_t layer = 0;          //!< index into layers()
+        std::vector<Instruction> gates; //!< 2q gates, sampling order
+    };
+
+    /** TwoQubit layers holding at least one two-qubit gate. */
+    std::vector<LayerGates> targets;
+
+    /** Layer count at plan time (= flat barrier segments). */
+    std::size_t layerCount = 0;
+
+    /**
+     * False when some layer holds a Barrier instruction, which
+     * would shift lateTwirl()'s segment recovery; lateTwirl()
+     * rejects such plans (twirl-first pipelines accept them).
+     */
+    bool barrierFree = true;
+
+    /** Total gates across targets (for diagnostics/tests). */
+    std::size_t gateCount() const;
+};
+
+/** Capture the twirl blueprint of a layered circuit. */
+TwirlPlan makeTwirlPlan(const LayeredCircuit &circuit);
+
+/**
+ * Insert freshly sampled Pauli-twirl frames into a lowered circuit:
+ * `flat` must be flatten() of the circuit the plan was captured
+ * from, optionally transpiled to the native set (pass the same
+ * options through `native` so the frame gates receive the identical
+ * lowering).  Layer boundaries are recovered from the full barriers
+ * flatten() emits; frame layers are spliced around each target
+ * segment exactly where flatten() would have put them.
+ *
+ * Equivalence contract: at the same rng state this returns
+ * byte-for-byte what flatten() (+ transpileToNative()) of
+ * pauliTwirl()'s output produces -- same instructions, same order,
+ * same barriers -- so scheduling it yields schedules byte-identical
+ * to the twirl-first pipeline.  `frames`, when given, receives the
+ * number of non-identity frame gates before native lowering (the
+ * kTwirlGatesKey convention).
+ */
+Circuit lateTwirl(const Circuit &flat, const TwirlPlan &plan,
+                  Rng &rng, TwirlTableCache &cache,
+                  const TranspileOptions *native = nullptr,
+                  std::size_t *frames = nullptr);
 
 } // namespace casq
 

@@ -693,6 +693,10 @@ SimulationEngine::runEnsemble(
         pipeline.planEnsemble(logical, _backend, compile);
 
     const int V = plan.instanceCount();
+    if (plan.prefixLength() > 0)
+        debug("fused ensemble: ", plan.prefixLength(),
+              " deterministic prefix pass(es) compiled once for ",
+              V, " instance(s)");
     const std::size_t total = std::size_t(opts.trajectories);
     const std::size_t K = observables.size();
     const Rng master(opts.seed);
@@ -783,6 +787,10 @@ SimulationEngine::runShard(
         pipeline.planEnsemble(logical, _backend, compile);
 
     const std::size_t V = std::size_t(plan.instanceCount());
+    if (plan.prefixLength() > 0)
+        debug("shard ", shard_index, "/", shard_count, ": ",
+              plan.prefixLength(), " deterministic prefix "
+              "pass(es) compiled once");
     const std::size_t total = std::size_t(opts.trajectories);
     const std::size_t K = observables.size();
     const std::size_t S = shard_count;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "passes/ca_dd.hh"
 #include "passes/walsh.hh"
 
@@ -76,6 +78,75 @@ TEST(CaDd, ColorGroupPinsActiveGates)
             }
         }
     }
+}
+
+/** True if some group spans exactly [start, end] with n members. */
+bool
+hasGroup(const std::vector<JointDelayGroup> &groups, double start,
+         double end, std::size_t members)
+{
+    for (const auto &g : groups) {
+        if (std::abs(g.start - start) < 1e-9 &&
+            std::abs(g.end - end) < 1e-9 &&
+            g.members.size() == members) {
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(CaDd, ResidualOfExactlyMinDurationBeforeSpanIsKept)
+{
+    // Regression for the recursive split's boundary handling: a
+    // residual piece left *before* the chosen joint span whose
+    // length equals min_duration exactly must still be decoupled
+    // (>= Dmin, like every other window in the pass), not silently
+    // dropped by a strict comparison.
+    Backend backend = testBackend(4);
+    ScheduledCircuit sched(4, 0);
+    // Qubits 0-2 idle over [200, 500]; qubit 3 idles [350, 1000]
+    // and wins the joint-span selection (longest of a full-overlap
+    // tie), leaving [200, 350] -- exactly min_duration -- before
+    // the span on qubits 0-2.
+    for (std::uint32_t q = 0; q < 3; ++q) {
+        sched.add(TimedInstruction{Instruction(Op::X, {q}), 0.0,
+                                   200.0});
+        sched.add(TimedInstruction{Instruction(Op::X, {q}), 500.0,
+                                   500.0});
+    }
+    sched.add(TimedInstruction{Instruction(Op::X, {3}), 0.0,
+                               350.0});
+    sched.sortByStart();
+
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    EXPECT_TRUE(hasGroup(groups, 350.0, 1000.0, 4u));
+    EXPECT_TRUE(hasGroup(groups, 200.0, 350.0, 3u));
+}
+
+TEST(CaDd, ResidualOfExactlyMinDurationAfterSpanIsKept)
+{
+    // Mirror case: the exact-boundary residual falls *after* the
+    // joint span.
+    Backend backend = testBackend(4);
+    ScheduledCircuit sched(4, 0);
+    // Qubits 0-2 idle over [500, 800]; qubit 3 idles [0, 650] and
+    // wins the span, leaving [650, 800] -- exactly min_duration --
+    // after it on qubits 0-2.
+    for (std::uint32_t q = 0; q < 3; ++q) {
+        sched.add(TimedInstruction{Instruction(Op::X, {q}), 0.0,
+                                   500.0});
+        sched.add(TimedInstruction{Instruction(Op::X, {q}), 800.0,
+                                   200.0});
+    }
+    sched.add(TimedInstruction{Instruction(Op::X, {3}), 650.0,
+                               350.0});
+    sched.sortByStart();
+
+    const auto groups = collectJointDelays(
+        sched, backend.crosstalkGraph(), 150.0);
+    EXPECT_TRUE(hasGroup(groups, 0.0, 650.0, 4u));
+    EXPECT_TRUE(hasGroup(groups, 650.0, 800.0, 3u));
 }
 
 TEST(CaDd, AppliesPulsesWithoutOverlap)

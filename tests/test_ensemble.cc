@@ -173,13 +173,18 @@ TEST(RunEnsemble, PrefixCacheIsExactForLateStochasticPipeline)
 
 TEST(RunEnsemble, StochasticFirstPassBypassesCache)
 {
-    // The built-in twirled pipelines start with the stochastic
-    // twirl pass: nothing may be cached (a shared twirl would
-    // correlate the ensemble), and the results must still match
-    // the serial reference exactly.
+    // A pipeline that starts with the stochastic twirl pass (the
+    // historical stock ordering; stock pipelines now twirl late)
+    // must cache nothing -- a shared twirl would correlate the
+    // ensemble -- and the results must still match the serial
+    // reference exactly.
     const Backend backend = testBackend();
     const LayeredCircuit circuit = workload();
-    PassManager pipeline = buildPipeline(Strategy::CaDd);
+    PassManager pipeline;
+    pipeline.emplace<TwirlPass>();
+    pipeline.emplace<FlattenPass>();
+    pipeline.emplace<SchedulePass>();
+    pipeline.emplace<CaDdPass>();
     ASSERT_TRUE(pipeline.stochastic());
     EXPECT_EQ(pipeline.stochasticPrefixLength(), 0u);
 

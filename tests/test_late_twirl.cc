@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Late twirling on the cached prefix (TwirlPlanPass +
+ * LateTwirlPass): per-instance schedules byte-identical to the
+ * twirl-first ordering at the same seed across thread counts, and
+ * prefix-cache engagement for every stock strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "passes/builtin.hh"
+#include "passes/pipeline.hh"
+
+namespace casq {
+namespace {
+
+Backend
+testBackend()
+{
+    return makeFakeLinear(5, 7);
+}
+
+/**
+ * Every scheduling path late twirling must reproduce: parallel ECR
+ * and mixed rzz/can two-qubit layers (non-integer rzz duration),
+ * idle and sx one-qubit layers, and a measure -> feedforward
+ * dynamic tail followed by one more twirled layer so the
+ * conditional-latency timing sits *between* twirl insertions.
+ */
+LayeredCircuit
+workload()
+{
+    LayeredCircuit circuit(5, 1);
+
+    Layer ecr{LayerKind::TwoQubit, {}};
+    ecr.insts.emplace_back(Op::ECR,
+                           std::vector<std::uint32_t>{0, 1});
+    ecr.insts.emplace_back(Op::ECR,
+                           std::vector<std::uint32_t>{2, 3});
+    circuit.addLayer(std::move(ecr));
+
+    Layer idle{LayerKind::OneQubit, {}};
+    for (std::uint32_t q = 0; q < 5; ++q)
+        idle.insts.emplace_back(Op::Delay,
+                                std::vector<std::uint32_t>{q},
+                                std::vector<double>{600.0});
+    circuit.addLayer(std::move(idle));
+
+    Layer mixed{LayerKind::TwoQubit, {}};
+    mixed.insts.emplace_back(Op::RZZ,
+                             std::vector<std::uint32_t>{1, 2},
+                             std::vector<double>{0.37});
+    mixed.insts.emplace_back(
+        Op::Can, std::vector<std::uint32_t>{3, 4},
+        std::vector<double>{0.3, 0.2, 0.1});
+    circuit.addLayer(std::move(mixed));
+
+    Layer ones{LayerKind::OneQubit, {}};
+    for (std::uint32_t q = 0; q < 5; ++q)
+        ones.insts.emplace_back(Op::SX,
+                                std::vector<std::uint32_t>{q});
+    circuit.addLayer(std::move(ones));
+
+    Layer measure{LayerKind::Dynamic, {}};
+    Instruction m(Op::Measure, {0});
+    m.cbit = 0;
+    measure.insts.push_back(m);
+    circuit.addLayer(std::move(measure));
+
+    Layer feedforward{LayerKind::Dynamic, {}};
+    Instruction fx(Op::X, {2});
+    fx.condBit = 0;
+    fx.condValue = 1;
+    feedforward.insts.push_back(fx);
+    circuit.addLayer(std::move(feedforward));
+
+    Layer tail{LayerKind::TwoQubit, {}};
+    tail.insts.emplace_back(Op::ECR,
+                            std::vector<std::uint32_t>{1, 2});
+    circuit.addLayer(std::move(tail));
+
+    return circuit;
+}
+
+/** Exact (bitwise) schedule equality, stricter than toString(). */
+void
+expectSameSchedule(const ScheduledCircuit &a,
+                   const ScheduledCircuit &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits()) << what;
+    ASSERT_EQ(a.numClbits(), b.numClbits()) << what;
+    ASSERT_EQ(a.instructions().size(), b.instructions().size())
+        << what << "\n"
+        << a.toString() << "\nvs\n"
+        << b.toString();
+    for (std::size_t i = 0; i < a.instructions().size(); ++i) {
+        const TimedInstruction &ta = a.instructions()[i];
+        const TimedInstruction &tb = b.instructions()[i];
+        ASSERT_TRUE(ta.start == tb.start &&
+                    ta.duration == tb.duration &&
+                    ta.inst.op == tb.inst.op &&
+                    ta.inst.qubits == tb.inst.qubits &&
+                    ta.inst.params == tb.inst.params &&
+                    ta.inst.cbit == tb.inst.cbit &&
+                    ta.inst.condBit == tb.inst.condBit &&
+                    ta.inst.condValue == tb.inst.condValue &&
+                    ta.inst.tag == tb.inst.tag)
+            << what << ": instruction " << i << "\n  "
+            << ta.inst.toString() << " @ [" << ta.start << ", "
+            << ta.end() << ")\nvs\n  " << tb.inst.toString()
+            << " @ [" << tb.start << ", " << tb.end() << ")";
+    }
+}
+
+EnsembleResult
+runStrategy(const CompileOptions &options,
+            const LayeredCircuit &circuit, const Backend &backend,
+            int instances, std::uint64_t seed, unsigned threads)
+{
+    PassManager pipeline = buildPipeline(options);
+    EnsembleOptions ensemble;
+    ensemble.instances = instances;
+    ensemble.seed = seed;
+    ensemble.threads = threads;
+    return pipeline.runEnsemble(circuit, backend, ensemble);
+}
+
+TEST(LateTwirl, ByteIdenticalToTwirlFirstForEveryStockStrategy)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit = workload();
+    const int instances = 6;
+    const std::uint64_t seed = 2024;
+
+    for (Strategy strategy : allStrategies()) {
+        CompileOptions first;
+        first.strategy = strategy;
+        first.lateTwirl = false;
+        const EnsembleResult reference = runStrategy(
+            first, circuit, backend, instances, seed, 1);
+
+        CompileOptions late;
+        late.strategy = strategy;
+        for (unsigned threads : {1u, 8u}) {
+            const EnsembleResult result = runStrategy(
+                late, circuit, backend, instances, seed, threads);
+            ASSERT_EQ(result.instances.size(),
+                      reference.instances.size());
+            for (std::size_t k = 0; k < result.instances.size();
+                 ++k) {
+                expectSameSchedule(
+                    result.instances[k].scheduled,
+                    reference.instances[k].scheduled,
+                    strategyName(strategy) + " instance " +
+                        std::to_string(k) + " threads " +
+                        std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(LateTwirl, ByteIdenticalToTwirlFirstLoweredToNative)
+{
+    // With --native the frame gates themselves get transpiled
+    // (Y -> rz x, Z -> rz) and the canonical block expands into a
+    // multi-gate fragment; the blueprint keeps the original gate
+    // identities so the conjugation tables still match.
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit = workload();
+
+    for (Strategy strategy : {Strategy::None, Strategy::CaDd}) {
+        CompileOptions first;
+        first.strategy = strategy;
+        first.lowerToNative = true;
+        first.lateTwirl = false;
+        const EnsembleResult reference =
+            runStrategy(first, circuit, backend, 4, 99, 1);
+
+        CompileOptions late;
+        late.strategy = strategy;
+        late.lowerToNative = true;
+        const EnsembleResult result =
+            runStrategy(late, circuit, backend, 4, 99, 8);
+        ASSERT_EQ(result.instances.size(),
+                  reference.instances.size());
+        for (std::size_t k = 0; k < result.instances.size(); ++k)
+            expectSameSchedule(result.instances[k].scheduled,
+                               reference.instances[k].scheduled,
+                               strategyName(strategy) +
+                                   " native instance " +
+                                   std::to_string(k));
+    }
+}
+
+TEST(LateTwirl, EveryStockStrategyEngagesThePrefixCache)
+{
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit = workload();
+    const int instances = 5;
+
+    for (Strategy strategy : allStrategies()) {
+        CompileOptions options;
+        options.strategy = strategy;
+        PassManager pipeline = buildPipeline(options);
+
+        // The CA-EC strategies keep twirl-first and only gain the
+        // twirl-plan prefix; everything else shares the full
+        // lowering front end.
+        const bool caec = strategy == Strategy::Ec ||
+                          strategy == Strategy::EcAlignedDd ||
+                          strategy == Strategy::Combined;
+        EXPECT_EQ(pipeline.stochasticPrefixLength(), caec ? 1u : 2u)
+            << strategyName(strategy);
+
+        for (unsigned threads : {1u, 8u}) {
+            EnsembleOptions ensemble;
+            ensemble.instances = instances;
+            ensemble.seed = 11;
+            ensemble.threads = threads;
+            const EnsembleResult result =
+                pipeline.runEnsemble(circuit, backend, ensemble);
+            EXPECT_GT(result.prefixLength, 0u)
+                << strategyName(strategy);
+            EXPECT_EQ(result.prefixHits, std::size_t(instances))
+                << strategyName(strategy) << " threads "
+                << threads;
+        }
+    }
+}
+
+TEST(LateTwirl, InstancesStayIndependentlyTwirled)
+{
+    // The shared prefix must not correlate the ensemble: late
+    // twirled instances still differ from each other.
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit = workload();
+    const EnsembleResult result = runStrategy(
+        CompileOptions{}, circuit, backend, 6, 13, 1);
+    bool any_difference = false;
+    for (std::size_t k = 1; k < result.instances.size(); ++k)
+        any_difference |=
+            result.instances[k].scheduled.toString() !=
+            result.instances[0].scheduled.toString();
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(LateTwirl, PlanCapturesTwoQubitGatesInSamplingOrder)
+{
+    const LayeredCircuit circuit = workload();
+    const TwirlPlan plan = makeTwirlPlan(circuit);
+    ASSERT_EQ(plan.targets.size(), 3u);
+    EXPECT_EQ(plan.layerCount, circuit.layers().size());
+    EXPECT_EQ(plan.gateCount(), circuit.countTwoQubitGates());
+    EXPECT_EQ(plan.targets[0].layer, 0u);
+    ASSERT_EQ(plan.targets[1].gates.size(), 2u);
+    EXPECT_EQ(plan.targets[1].gates[0].op, Op::RZZ);
+    EXPECT_EQ(plan.targets[1].gates[1].op, Op::Can);
+    EXPECT_EQ(plan.targets[2].layer, 6u);
+}
+
+TEST(LateTwirl, BarrierInsideALayerStaysCompilableTwirlFirst)
+{
+    // addLayer() accepts a Barrier instruction inside a layer.
+    // Segment recovery cannot handle one (it would shift every
+    // segment after it), so the plan records the fact for
+    // lateTwirl() to reject -- but the twirl-first ordering must
+    // keep compiling such circuits exactly as before.
+    const Backend backend = testBackend();
+    LayeredCircuit circuit(5, 0);
+    Layer gates{LayerKind::TwoQubit, {}};
+    gates.insts.emplace_back(Op::ECR,
+                             std::vector<std::uint32_t>{0, 1});
+    circuit.addLayer(std::move(gates));
+    Layer odd{LayerKind::OneQubit, {}};
+    odd.insts.emplace_back(Op::Barrier,
+                           std::vector<std::uint32_t>{2, 3});
+    circuit.addLayer(std::move(odd));
+
+    EXPECT_FALSE(makeTwirlPlan(circuit).barrierFree);
+
+    CompileOptions first;
+    first.lateTwirl = false;
+    Rng rng(1);
+    const ScheduledCircuit sched =
+        compileCircuit(circuit, backend, first, rng);
+    EXPECT_GT(sched.instructions().size(), 0u);
+}
+
+TEST(LateTwirl, LateTwirlPassCountsFramesLikeTwirlFirst)
+{
+    // kTwirlGatesKey keeps the pre-lowering frame count in both
+    // orderings.
+    const Backend backend = testBackend();
+    const LayeredCircuit circuit = workload();
+
+    CompileOptions late;
+    Rng late_rng(5);
+    PassManager late_pipeline = buildPipeline(late);
+    const CompilationResult late_result =
+        late_pipeline.compile(circuit, backend, late_rng);
+
+    CompileOptions first;
+    first.lateTwirl = false;
+    Rng first_rng(5);
+    PassManager first_pipeline = buildPipeline(first);
+    const CompilationResult first_result =
+        first_pipeline.compile(circuit, backend, first_rng);
+
+    const auto *late_gates =
+        late_result.property<std::size_t>(kTwirlGatesKey);
+    const auto *first_gates =
+        first_result.property<std::size_t>(kTwirlGatesKey);
+    ASSERT_NE(late_gates, nullptr);
+    ASSERT_NE(first_gates, nullptr);
+    EXPECT_EQ(*late_gates, *first_gates);
+    EXPECT_GT(*late_gates, 0u);
+}
+
+} // namespace
+} // namespace casq

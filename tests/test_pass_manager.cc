@@ -108,12 +108,38 @@ TEST(PassManager, PassNamesAndContains)
 {
     PassManager manager = buildPipeline(Strategy::CaDd);
     const auto names = manager.passNames();
+    // Stock twirled pipelines are prefix-friendly: the stochastic
+    // late-twirl pass comes after the deterministic lowering.
     const std::vector<std::string> expected{
-        "pauli-twirl", "flatten", "schedule-asap", "ca-dd"};
+        "twirl-plan", "flatten", "late-twirl", "schedule-asap",
+        "ca-dd"};
     EXPECT_EQ(names, expected);
+    EXPECT_EQ(manager.stochasticPrefixLength(), 2u);
     EXPECT_TRUE(manager.contains("ca-dd"));
     EXPECT_FALSE(manager.contains("ca-ec"));
     EXPECT_TRUE(manager.stochastic());
+
+    PassManager first = buildPipeline([] {
+        CompileOptions options;
+        options.strategy = Strategy::CaDd;
+        options.lateTwirl = false;
+        return options;
+    }());
+    const std::vector<std::string> twirl_first{
+        "twirl-plan", "pauli-twirl", "flatten", "schedule-asap",
+        "ca-dd"};
+    EXPECT_EQ(first.passNames(), twirl_first);
+    EXPECT_EQ(first.stochasticPrefixLength(), 1u);
+
+    PassManager caec = buildPipeline(Strategy::Combined);
+    // CA-EC reads the frames at the layered stage, so its
+    // strategies keep the twirl-first ordering behind the
+    // twirl-plan prefix.
+    const std::vector<std::string> combined{
+        "twirl-plan", "pauli-twirl", "ca-ec", "flatten",
+        "schedule-asap", "ca-dd"};
+    EXPECT_EQ(caec.passNames(), combined);
+    EXPECT_EQ(caec.stochasticPrefixLength(), 1u);
 
     PassManager bare = buildPipeline([] {
         CompileOptions options;

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include <chrono>
@@ -53,9 +54,11 @@ struct CliOptions
     bool simulate = false; //!< fused compile->simulate run
     int trajectories = 400; //!< Monte-Carlo budget for --simulate
     bool twirl = true;
+    bool lateTwirl = true; //!< false = historical twirl-first order
     bool lowerToNative = false;
     bool analyzeIdle = false;
     bool dump = false;
+    bool hexfloat = false; //!< bit-exact --simulate estimates
 };
 
 void
@@ -77,6 +80,11 @@ usage(const char *prog)
         << "  --traj N          trajectories for --simulate\n"
         << "                    (default 400)\n"
         << "  --no-twirl        disable Pauli twirling\n"
+        << "  --twirl-first     twirl before lowering (historical\n"
+        << "                    ordering; schedules are identical,\n"
+        << "                    the prefix cache disengages)\n"
+        << "  --hexfloat        print --simulate estimates as\n"
+        << "                    bit-exact hexfloat (diffable)\n"
         << "  --native          lower to the native gate set\n"
         << "  --analyze-idle    report residual idle windows after\n"
         << "                    compilation (grafts an analysis pass)\n"
@@ -114,6 +122,10 @@ main(int argc, char **argv)
             return 0;
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             cli.twirl = false;
+        } else if (std::strcmp(argv[i], "--twirl-first") == 0) {
+            cli.lateTwirl = false;
+        } else if (std::strcmp(argv[i], "--hexfloat") == 0) {
+            cli.hexfloat = true;
         } else if (std::strcmp(argv[i], "--native") == 0) {
             cli.lowerToNative = true;
         } else if (std::strcmp(argv[i], "--simulate") == 0) {
@@ -133,18 +145,25 @@ main(int argc, char **argv)
             }
             cli.strategy = *parsed;
         } else if (const char *v = value("--qubits")) {
-            cli.qubits = std::strtoull(v, nullptr, 10);
+            cli.qubits = std::size_t(
+                bench::checkedInt("--qubits", v, 1, 1 << 20));
         } else if (const char *v = value("--depth")) {
-            cli.depth = std::atoi(v);
+            cli.depth = int(bench::checkedInt(
+                "--depth", v, 0,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--seed")) {
-            cli.seed = std::strtoull(v, nullptr, 10);
+            cli.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v = value("--ensemble")) {
-            cli.ensemble = std::atoi(v);
+            cli.ensemble = int(bench::checkedInt(
+                "--ensemble", v, 0,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--traj")) {
-            cli.trajectories = std::atoi(v);
+            cli.trajectories = int(bench::checkedInt(
+                "--traj", v, 1,
+                std::numeric_limits<int>::max()));
         } else if (const char *v = value("--threads")) {
-            cli.threads = static_cast<unsigned>(
-                std::strtoul(v, nullptr, 10));
+            cli.threads = unsigned(
+                bench::checkedInt("--threads", v, 0, 4096));
         } else {
             std::cerr << "unknown argument '" << argv[i] << "'\n";
             usage(argv[0]);
@@ -159,6 +178,7 @@ main(int argc, char **argv)
     CompileOptions options;
     options.strategy = cli.strategy;
     options.twirl = cli.twirl;
+    options.lateTwirl = cli.lateTwirl;
     options.lowerToNative = cli.lowerToNative;
 
     PassManager pipeline = buildPipeline(options);
@@ -213,7 +233,13 @@ main(int argc, char **argv)
                   << std::setprecision(1)
                   << 1e3 * double(result.trajectories) / wall_ms
                   << " trajectories/s)\n";
-        std::cout << std::setprecision(6);
+        // Hexfloat estimates are bit-exact, so runs that must agree
+        // (late-twirl vs twirl-first, any thread count) diff clean;
+        // CI gates the orderings exactly that way.
+        if (cli.hexfloat)
+            std::cout << std::hexfloat;
+        else
+            std::cout << std::setprecision(6);
         for (std::uint32_t q = 0; q < cli.qubits; ++q)
             std::cout << "<Z_" << q << "> = " << result.means[q]
                       << " +- " << result.stderrs[q] << "\n";
@@ -239,7 +265,10 @@ main(int argc, char **argv)
             std::cout << "prefix cache: " << result.prefixLength
                       << " deterministic pass"
                       << (result.prefixLength == 1 ? "" : "es")
-                      << " compiled once and shared\n";
+                      << " compiled once, served "
+                      << result.prefixHits << " instance"
+                      << (result.prefixHits == 1 ? "" : "s")
+                      << " from the snapshot\n";
         double pass_millis = 0.0;
         for (const CompilationResult &instance : result.instances)
             pass_millis += instance.totalMillis();

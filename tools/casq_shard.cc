@@ -25,6 +25,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -99,15 +100,19 @@ cmdPlan(int argc, char **argv)
     spec.seed = 1234;
     spec.compileSeed = 0;
 
+    constexpr long long kMaxInt =
+        std::numeric_limits<int>::max();
     for (int i = 2; i < argc; ++i) {
         if (const char *v = value(argc, argv, i, "--shards")) {
-            shards = std::uint32_t(std::strtoul(v, nullptr, 10));
+            shards = std::uint32_t(
+                bench::checkedInt("--shards", v, 1, 1 << 20));
         } else if (const char *v = value(argc, argv, i, "--out")) {
             out = v;
         } else if (const char *v = value(argc, argv, i, "--qubits")) {
-            qubits = std::strtoull(v, nullptr, 10);
+            qubits = std::size_t(
+                bench::checkedInt("--qubits", v, 1, 1 << 20));
         } else if (const char *v = value(argc, argv, i, "--depth")) {
-            depth = std::atoi(v);
+            depth = int(bench::checkedInt("--depth", v, 0, kMaxInt));
         } else if (const char *v =
                        value(argc, argv, i, "--strategy")) {
             spec.strategy = v;
@@ -116,17 +121,21 @@ cmdPlan(int argc, char **argv)
             spec.backend = backendRecipeFromName(v);
         } else if (const char *v =
                        value(argc, argv, i, "--backend-seed")) {
-            spec.backendSeed = std::strtoull(v, nullptr, 10);
+            spec.backendSeed =
+                bench::checkedUInt64("--backend-seed", v);
         } else if (const char *v =
                        value(argc, argv, i, "--instances")) {
-            spec.instances = std::atoi(v);
+            spec.instances = int(
+                bench::checkedInt("--instances", v, 1, kMaxInt));
         } else if (const char *v = value(argc, argv, i, "--traj")) {
-            spec.trajectories = std::atoi(v);
+            spec.trajectories =
+                int(bench::checkedInt("--traj", v, 1, kMaxInt));
         } else if (const char *v = value(argc, argv, i, "--seed")) {
-            spec.seed = std::strtoull(v, nullptr, 10);
+            spec.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v =
                        value(argc, argv, i, "--compile-seed")) {
-            spec.compileSeed = std::strtoull(v, nullptr, 10);
+            spec.compileSeed =
+                bench::checkedUInt64("--compile-seed", v);
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             spec.twirl = false;
         } else if (std::strcmp(argv[i], "--native") == 0) {
@@ -186,7 +195,8 @@ cmdRun(int argc, char **argv)
             out_path = v;
         } else if (const char *v =
                        value(argc, argv, i, "--threads")) {
-            threads = std::atoi(v);
+            threads =
+                int(bench::checkedInt("--threads", v, 0, 4096));
         } else {
             std::cerr << "run: unknown argument '" << argv[i]
                       << "'\n";
