@@ -14,10 +14,24 @@ outOfBounds(std::size_t offset, std::size_t size,
     throw SerializeError(
         "truncated payload: need " + std::to_string(wanted) +
         " byte(s) at offset " + std::to_string(offset) +
-        " but only " + std::to_string(size - offset) + " remain");
+        " but only " + std::to_string(size - offset) + " remain",
+        offset);
 }
 
 } // namespace
+
+std::string
+describePayloadError(const std::string &path,
+                     const SerializeError &err)
+{
+    std::string text;
+    if (!path.empty())
+        text += path + ": ";
+    if (err.hasOffset())
+        text += "byte " + std::to_string(err.offset()) + ": ";
+    text += err.what();
+    return text;
+}
 
 // ------------------------------------------------------ ByteWriter
 
@@ -95,7 +109,8 @@ ByteReader::boolean()
     if (v > 1) {
         throw SerializeError(
             "corrupt boolean value " + std::to_string(int(v)) +
-            " at offset " + std::to_string(_offset - 1));
+            " at offset " + std::to_string(_offset - 1),
+            _offset - 1);
     }
     return v == 1;
 }
@@ -129,7 +144,8 @@ ByteReader::count(std::size_t min_element_bytes)
         throw SerializeError(
             "corrupt element count " + std::to_string(n) +
             " at offset " + std::to_string(at) + ": only " +
-            std::to_string(remaining()) + " byte(s) remain");
+            std::to_string(remaining()) + " byte(s) remain",
+            at);
     }
     return n;
 }
@@ -141,7 +157,8 @@ ByteReader::requireEnd() const
         throw SerializeError(
             "trailing garbage: " + std::to_string(remaining()) +
             " unconsumed byte(s) at offset " +
-            std::to_string(_offset));
+            std::to_string(_offset),
+            _offset);
     }
 }
 

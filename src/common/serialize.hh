@@ -32,15 +32,61 @@
 
 namespace casq {
 
-/** Malformed payload (truncation, corruption, version skew). */
+/**
+ * Malformed payload (truncation, corruption, version skew).
+ *
+ * Besides the human-readable message, the error records the byte
+ * offset the decoder had reached when it rejected the payload
+ * (kNoOffset for failures with no position, e.g. file I/O).  The
+ * tools render both through describePayloadError() so every corrupt
+ * payload is reported as "file: byte N: what" instead of an ad-hoc
+ * message.
+ */
 class SerializeError : public std::runtime_error
 {
   public:
+    /** Sentinel for "no byte position recorded". */
+    static constexpr std::size_t kNoOffset = ~std::size_t(0);
+
     explicit SerializeError(const std::string &what)
         : std::runtime_error(what)
     {
     }
+
+    SerializeError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what), _offset(offset)
+    {
+    }
+
+    bool hasOffset() const { return _offset != kNoOffset; }
+    std::size_t offset() const { return _offset; }
+
+    /**
+     * Record `offset` unless a more precise position is already
+     * attached; decoders call this so semantic validation errors
+     * (raised after the reads succeeded) still carry the position
+     * of the offending field.
+     */
+    void
+    attachOffset(std::size_t offset)
+    {
+        if (!hasOffset())
+            _offset = offset;
+    }
+
+  private:
+    std::size_t _offset = kNoOffset;
 };
+
+/**
+ * Render a SerializeError raised while decoding `path` as the one
+ * canonical diagnostic line every tool prints:
+ * "path: byte N: message" (or without the byte clause when the
+ * error carries no position).  Pass an empty path for in-memory
+ * payloads.
+ */
+std::string describePayloadError(const std::string &path,
+                                 const SerializeError &err);
 
 /** Append-only little-endian byte sink. */
 class ByteWriter

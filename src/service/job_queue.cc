@@ -1,0 +1,83 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+
+namespace casq {
+
+JobQueue::JobQueue(std::size_t capacity, AdmissionLimits limits)
+    : _capacity(std::max(std::size_t(1), capacity)),
+      _limits(limits)
+{
+}
+
+void
+JobQueue::push(JobSpec job)
+{
+    // Validation needs no queue state; keep it outside the lock.
+    validateJobSpec(job, _limits);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_admitted.count(job.id)) {
+        throw AdmissionError("duplicate job id '" + job.id +
+                             "' (ids are unique for the daemon's "
+                             "lifetime)");
+    }
+    if (_queue.size() >= _capacity) {
+        throw BackpressureError(
+            "job queue is full (" + std::to_string(_capacity) +
+            " job(s) queued); back off and retry");
+    }
+    _admitted.insert(job.id);
+    _queue.push_back(std::move(job));
+}
+
+std::optional<JobSpec>
+JobQueue::tryPop()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_queue.empty())
+        return std::nullopt;
+    JobSpec job = std::move(_queue.front());
+    _queue.pop_front();
+    return job;
+}
+
+bool
+JobQueue::remove(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = std::find_if(
+        _queue.begin(), _queue.end(),
+        [&](const JobSpec &job) { return job.id == id; });
+    if (it == _queue.end())
+        return false;
+    _queue.erase(it);
+    return true;
+}
+
+bool
+JobQueue::knows(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _admitted.count(id) != 0;
+}
+
+std::vector<std::string>
+JobQueue::queuedIds() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> ids;
+    ids.reserve(_queue.size());
+    for (const JobSpec &job : _queue)
+        ids.push_back(job.id);
+    return ids;
+}
+
+std::size_t
+JobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _queue.size();
+}
+
+} // namespace casq

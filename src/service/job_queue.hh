@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bounded admission queue of the job service.
+ *
+ * Every submission passes through push(): admission validation
+ * (validateJobSpec), duplicate-id rejection (job ids are unique for
+ * the lifetime of the daemon, so a resubmitted id can never be
+ * confused with an earlier job's status or result), and a bounded
+ * capacity that turns overload into BackpressureError instead of
+ * unbounded memory growth -- the client backs off and retries.
+ *
+ * The queue is FIFO: the scheduler adopts jobs in admission order
+ * whenever a worker slot runs out of planned shards.
+ */
+
+#ifndef CASQ_SERVICE_JOB_QUEUE_HH
+#define CASQ_SERVICE_JOB_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace casq {
+
+/** Thread-safe bounded FIFO of admitted jobs. */
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity = 64,
+                      AdmissionLimits limits = {});
+
+    /**
+     * Validate and admit a job.  Throws AdmissionError on a
+     * malformed submission or a duplicate id, and BackpressureError
+     * when the queue is at capacity.
+     */
+    void push(JobSpec job);
+
+    /** Next admitted job in FIFO order, if any (scheduler side). */
+    std::optional<JobSpec> tryPop();
+
+    /** Drop a queued job (cancellation); false if not queued. */
+    bool remove(const std::string &id);
+
+    /** True when `id` was admitted at any point in this lifetime. */
+    bool knows(const std::string &id) const;
+
+    /** Ids currently waiting, FIFO order. */
+    std::vector<std::string> queuedIds() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return _capacity; }
+    const AdmissionLimits &limits() const { return _limits; }
+
+  private:
+    mutable std::mutex _mutex;
+    std::deque<JobSpec> _queue;
+
+    /** Every id ever admitted; ids are daemon-lifetime unique. */
+    std::unordered_set<std::string> _admitted;
+
+    std::size_t _capacity;
+    AdmissionLimits _limits;
+};
+
+} // namespace casq
+
+#endif // CASQ_SERVICE_JOB_QUEUE_HH

@@ -1,0 +1,114 @@
+#include "service/job_service.hh"
+
+#include <thread>
+
+namespace casq {
+
+JobService::JobService(JobServiceOptions options,
+                       std::unique_ptr<ShardRunner> runner)
+    : _options(options),
+      _queue(options.queueCapacity, options.limits)
+{
+    if (!runner) {
+        runner = std::make_unique<InProcessShardRunner>(
+            options.threadsPerShard);
+    }
+    _scheduler = std::make_unique<Scheduler>(
+        options.scheduler, _queue, _progress, std::move(runner));
+}
+
+JobService::~JobService()
+{
+    shutdown();
+}
+
+void
+JobService::submit(JobSpec job)
+{
+    // Order matters: admission first (push throws on rejects, and
+    // only admitted jobs may appear in progress), then
+    // registration.  A worker can adopt the job between the two --
+    // jobQueued is insert-if-absent so it never downgrades the
+    // entry jobScheduled already created.
+    const JobSpec copy = job;
+    _queue.push(std::move(job));
+    _progress.jobQueued(copy);
+    _scheduler->notify();
+}
+
+std::optional<JobProgress>
+JobService::status(const std::string &id) const
+{
+    return _progress.job(id);
+}
+
+std::vector<JobProgress>
+JobService::list() const
+{
+    return _progress.jobs();
+}
+
+ServiceTotals
+JobService::totals() const
+{
+    return _progress.totals();
+}
+
+JobProgress
+JobService::waitTerminal(const std::string &id) const
+{
+    return _progress.waitTerminal(id);
+}
+
+JobService::CancelOutcome
+JobService::cancel(const std::string &id)
+{
+    for (;;) {
+        // Still waiting in the queue: drop it before a slot adopts.
+        if (_queue.remove(id)) {
+            _progress.jobState(id, JobState::Cancelled);
+            return CancelOutcome::Cancelled;
+        }
+        switch (_scheduler->cancel(id)) {
+          case Scheduler::CancelOutcome::Cancelled:
+            return CancelOutcome::Cancelled;
+          case Scheduler::CancelOutcome::AlreadyTerminal:
+            return CancelOutcome::AlreadyTerminal;
+          case Scheduler::CancelOutcome::Unknown: break;
+        }
+        if (!_queue.knows(id))
+            return CancelOutcome::Unknown;
+        // Admitted but visible to neither side: a slot is
+        // mid-adoption; yield and retry.
+        std::this_thread::yield();
+    }
+}
+
+RunResult
+JobService::result(const std::string &id) const
+{
+    const std::optional<JobProgress> snapshot = _progress.job(id);
+    if (!snapshot)
+        throw ServiceError("unknown job '" + id + "'");
+    if (snapshot->state != JobState::Done) {
+        throw ServiceError(
+            "job '" + id + "' is " +
+            jobStateName(snapshot->state) +
+            (snapshot->error.empty() ? std::string()
+                                     : ": " + snapshot->error));
+    }
+    // The scheduler stores the merged result before the reporter
+    // flips the job to Done, so a Done snapshot guarantees this
+    // succeeds.
+    return _scheduler->result(id);
+}
+
+void
+JobService::shutdown()
+{
+    _progress.close();
+    if (_scheduler)
+        _scheduler->stop();
+}
+
+} // namespace casq

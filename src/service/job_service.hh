@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Facade over the serving subsystem: one object owning the
+ * admission queue, the progress reporter, and the scheduler's
+ * worker-slot pool.
+ *
+ * The daemon (tools/casq_serve) and the in-process tests drive the
+ * same surface:
+ *
+ *   JobService service(options);
+ *   service.submit(job);             // throws AdmissionError /
+ *                                    // BackpressureError
+ *   service.waitTerminal("job-1");   // blocks on the reporter
+ *   RunResult r = service.result("job-1");
+ *
+ * All methods are thread-safe; the daemon calls them from one
+ * connection-handling thread per client.
+ */
+
+#ifndef CASQ_SERVICE_JOB_SERVICE_HH
+#define CASQ_SERVICE_JOB_SERVICE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/job_queue.hh"
+#include "service/progress.hh"
+#include "service/scheduler.hh"
+
+namespace casq {
+
+struct JobServiceOptions
+{
+    /** Admission queue capacity (backpressure beyond this). */
+    std::size_t queueCapacity = 64;
+
+    AdmissionLimits limits;
+    SchedulerOptions scheduler;
+
+    /**
+     * Engine threads per in-process shard execution (ignored when
+     * a custom runner is supplied).
+     */
+    int threadsPerShard = 1;
+};
+
+class JobService
+{
+  public:
+    /** `runner` overrides the in-process executor (subprocess
+     *  spawning, fault injection); null = InProcessShardRunner. */
+    explicit JobService(JobServiceOptions options = {},
+                        std::unique_ptr<ShardRunner> runner = nullptr);
+    ~JobService();
+
+    JobService(const JobService &) = delete;
+    JobService &operator=(const JobService &) = delete;
+
+    /**
+     * Validate and enqueue a job.  Throws AdmissionError (malformed
+     * submission, duplicate id) or BackpressureError (queue full).
+     */
+    void submit(JobSpec job);
+
+    /** Snapshot of one job; nullopt for an unknown id. */
+    std::optional<JobProgress> status(const std::string &id) const;
+
+    /** Snapshots of all jobs, admission order. */
+    std::vector<JobProgress> list() const;
+
+    ServiceTotals totals() const;
+
+    /** Block until the job is Done/Failed/Cancelled. */
+    JobProgress waitTerminal(const std::string &id) const;
+
+    enum class CancelOutcome
+    {
+        Cancelled,
+        Unknown,
+        AlreadyTerminal,
+    };
+
+    CancelOutcome cancel(const std::string &id);
+
+    /**
+     * Merged result of a Done job (byte-identical to a
+     * single-process Engine::runEnsemble of the same spec).  Throws
+     * ServiceError if the job is not Done.
+     */
+    RunResult result(const std::string &id) const;
+
+    /** Unblock waiters and stop the worker slots. */
+    void shutdown();
+
+    const JobQueue &queue() const { return _queue; }
+
+  private:
+    JobServiceOptions _options;
+    JobQueue _queue;
+    ProgressReporter _progress;
+    std::unique_ptr<Scheduler> _scheduler;
+};
+
+} // namespace casq
+
+#endif // CASQ_SERVICE_JOB_SERVICE_HH

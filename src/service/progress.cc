@@ -1,0 +1,292 @@
+#include "service/progress.hh"
+
+#include <algorithm>
+
+namespace casq {
+
+namespace {
+
+double
+millisBetween(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter()
+    : _startedAt(std::chrono::steady_clock::now())
+{
+}
+
+void
+ProgressReporter::jobQueued(const JobSpec &job)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    // Insert-if-absent: a fast worker may have adopted the job (and
+    // reported jobScheduled) before the submitter got here; never
+    // downgrade that entry back to Queued.
+    if (_entries.count(job.id))
+        return;
+    Entry entry;
+    entry.progress.id = job.id;
+    entry.progress.state = JobState::Queued;
+    entry.progress.trajectories = job.work.trajectories;
+    entry.progress.observables =
+        std::uint32_t(job.work.observables.size());
+    entry.progress.shards.resize(job.shards());
+    entry.order = _nextOrder++;
+    entry.submittedAt = std::chrono::steady_clock::now();
+    _entries.emplace(job.id, std::move(entry));
+    _totals.jobsAdmitted += 1;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::jobScheduled(const std::string &id,
+                               std::uint32_t shards)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry *entry = find(id);
+    if (!entry) {
+        // Adoption raced ahead of jobQueued's registration; create
+        // a minimal entry (the shape fields follow right behind).
+        Entry fresh;
+        fresh.progress.id = id;
+        fresh.order = _nextOrder++;
+        fresh.submittedAt = std::chrono::steady_clock::now();
+        entry = &_entries.emplace(id, std::move(fresh))
+                     .first->second;
+        _totals.jobsAdmitted += 1;
+    }
+    entry->progress.state = JobState::Scheduled;
+    entry->progress.shards.resize(shards);
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::jobState(const std::string &id, JobState state,
+                           const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry *entry = find(id);
+    if (!entry)
+        return;
+    entry->progress.state = state;
+    if (!error.empty())
+        entry->progress.error = error;
+    if (jobStateTerminal(state) && !entry->finished) {
+        entry->finished = true;
+        entry->finishedAt = std::chrono::steady_clock::now();
+        switch (state) {
+          case JobState::Done: _totals.jobsDone += 1; break;
+          case JobState::Failed: _totals.jobsFailed += 1; break;
+          case JobState::Cancelled:
+            _totals.jobsCancelled += 1;
+            break;
+          default: break;
+        }
+    }
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::shardStarted(const std::string &id,
+                               std::uint32_t shard, int worker,
+                               std::uint32_t attempt)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry *entry = find(id);
+    if (!entry || shard >= entry->progress.shards.size())
+        return;
+    ShardProgress &sp = entry->progress.shards[shard];
+    sp.state = ShardState::Running;
+    sp.worker = worker;
+    sp.attempts = std::max(sp.attempts, attempt);
+    if (!entry->started) {
+        entry->started = true;
+        entry->firstStartAt = std::chrono::steady_clock::now();
+    }
+    if (entry->progress.state == JobState::Scheduled)
+        entry->progress.state = JobState::Running;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::shardFinished(const std::string &id,
+                                std::uint32_t shard, int worker,
+                                double wallMillis,
+                                std::uint64_t trajectories)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry *entry = find(id);
+    _totals.shardsExecuted += 1;
+    _totals.trajectoriesDone += trajectories;
+    if (!entry || shard >= entry->progress.shards.size())
+        return;
+    ShardProgress &sp = entry->progress.shards[shard];
+    if (sp.state == ShardState::Done)
+        return; // duplicate completion of a stolen shard
+    sp.state = ShardState::Done;
+    sp.worker = worker;
+    sp.wallMillis = wallMillis;
+    entry->progress.shardsDone += 1;
+    entry->progress.trajectoriesDone += trajectories;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::shardFailed(const std::string &id,
+                              std::uint32_t shard)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _totals.shardFailures += 1;
+    (void)id;
+    (void)shard;
+}
+
+void
+ProgressReporter::shardRetried(const std::string &id,
+                               std::uint32_t shard)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _totals.shardRetries += 1;
+    Entry *entry = find(id);
+    if (!entry || shard >= entry->progress.shards.size())
+        return;
+    ShardProgress &sp = entry->progress.shards[shard];
+    sp.state = ShardState::Pending;
+    sp.worker = -1;
+    entry->progress.retries += 1;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::shardStolen(const std::string &id,
+                              std::uint32_t shard)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _totals.shardsStolen += 1;
+    Entry *entry = find(id);
+    if (!entry || shard >= entry->progress.shards.size())
+        return;
+    entry->progress.shards[shard].stolen = true;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::shardExhausted(const std::string &id,
+                                 std::uint32_t shard)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry *entry = find(id);
+    if (!entry || shard >= entry->progress.shards.size())
+        return;
+    entry->progress.shards[shard].state = ShardState::Failed;
+    _changed.notify_all();
+}
+
+std::optional<JobProgress>
+ProgressReporter::job(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(id);
+    if (it == _entries.end())
+        return std::nullopt;
+    Entry copy = it->second;
+    refresh(copy);
+    return copy.progress;
+}
+
+std::vector<JobProgress>
+ProgressReporter::jobs() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<const Entry *> ordered;
+    ordered.reserve(_entries.size());
+    for (const auto &[id, entry] : _entries)
+        ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->order < b->order;
+              });
+    std::vector<JobProgress> snapshots;
+    snapshots.reserve(ordered.size());
+    for (const Entry *entry : ordered) {
+        Entry copy = *entry;
+        refresh(copy);
+        snapshots.push_back(std::move(copy.progress));
+    }
+    return snapshots;
+}
+
+ServiceTotals
+ProgressReporter::totals() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ServiceTotals totals = _totals;
+    totals.upMillis = millisBetween(
+        _startedAt, std::chrono::steady_clock::now());
+    if (totals.upMillis > 0.0) {
+        totals.trajectoriesPerSecond =
+            1e3 * double(totals.trajectoriesDone) / totals.upMillis;
+    }
+    return totals;
+}
+
+JobProgress
+ProgressReporter::waitTerminal(const std::string &id) const
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        const auto it = _entries.find(id);
+        if (it == _entries.end())
+            throw ServiceError("unknown job '" + id + "'");
+        if (jobStateTerminal(it->second.progress.state)) {
+            Entry copy = it->second;
+            refresh(copy);
+            return copy.progress;
+        }
+        if (_closed) {
+            throw ServiceError(
+                "service is shutting down before job '" + id +
+                "' finished");
+        }
+        _changed.wait(lock);
+    }
+}
+
+void
+ProgressReporter::close()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _closed = true;
+    _changed.notify_all();
+}
+
+void
+ProgressReporter::refresh(Entry &entry) const
+{
+    const auto now = std::chrono::steady_clock::now();
+    JobProgress &p = entry.progress;
+    p.sinceSubmitMillis = millisBetween(entry.submittedAt, now);
+    if (entry.started) {
+        const auto end = entry.finished ? entry.finishedAt : now;
+        p.activeMillis = millisBetween(entry.firstStartAt, end);
+        if (p.activeMillis > 0.0) {
+            p.trajectoriesPerSecond =
+                1e3 * double(p.trajectoriesDone) / p.activeMillis;
+        }
+    }
+}
+
+ProgressReporter::Entry *
+ProgressReporter::find(const std::string &id)
+{
+    const auto it = _entries.find(id);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+} // namespace casq

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Progress tracking for the job service: per-job shard states and
+ * service-wide throughput counters.
+ *
+ * The ProgressReporter is the client-facing view of the scheduler.
+ * The scheduler reports lifecycle events (job adopted, shard
+ * started/finished/retried/stolen, job done/failed/cancelled) and
+ * the reporter maintains the snapshots that status/list/stats
+ * queries return -- so queries never have to reach into the
+ * scheduler's execution state, and waiting for a job's completion
+ * is a condition-variable wait on the reporter rather than polling.
+ *
+ * All methods are thread-safe; snapshot() values are consistent
+ * copies taken under the reporter's lock.
+ */
+
+#ifndef CASQ_SERVICE_PROGRESS_HH
+#define CASQ_SERVICE_PROGRESS_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace casq {
+
+/** Point-in-time view of one shard of a job. */
+struct ShardProgress
+{
+    ShardState state = ShardState::Pending;
+    std::uint32_t attempts = 0; //!< executions started (incl. steals)
+    std::int32_t worker = -1;   //!< slot of the live/winning run
+    bool stolen = false;        //!< a speculative re-execution ran
+    double wallMillis = 0.0;    //!< winning attempt, once done
+};
+
+/** Point-in-time view of one job. */
+struct JobProgress
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    std::string error; //!< terminal diagnostic for Failed
+
+    std::vector<ShardProgress> shards;
+    std::uint32_t shardsDone = 0;
+    std::uint32_t retries = 0; //!< re-queued shard executions
+
+    /** Workload shape (for rendering progress). */
+    std::int32_t trajectories = 0;
+    std::uint32_t observables = 0;
+
+    /** Trajectories owned by finished shards. */
+    std::uint64_t trajectoriesDone = 0;
+
+    /** Milliseconds since submission. */
+    double sinceSubmitMillis = 0.0;
+
+    /** Milliseconds of active execution (first shard start on). */
+    double activeMillis = 0.0;
+
+    /** trajectoriesDone over the active window. */
+    double trajectoriesPerSecond = 0.0;
+};
+
+/** Aggregated service counters (casq_job stats). */
+struct ServiceTotals
+{
+    std::uint64_t jobsAdmitted = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t shardsExecuted = 0; //!< successful executions
+    std::uint64_t shardFailures = 0;  //!< failed executions
+    std::uint64_t shardRetries = 0;   //!< re-queued after a failure
+    std::uint64_t shardsStolen = 0;   //!< speculative re-executions
+    std::uint64_t trajectoriesDone = 0;
+    double upMillis = 0.0;
+    double trajectoriesPerSecond = 0.0; //!< over the whole uptime
+};
+
+/**
+ * Thread-safe event sink + query surface.  The scheduler (and the
+ * queue-owning service) report events; clients snapshot.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter();
+
+    // ------------------------------------------------ event sinks
+
+    /** Job admitted into the queue (registers the entry). */
+    void jobQueued(const JobSpec &job);
+
+    /** Job adopted by the scheduler and split into `shards`. */
+    void jobScheduled(const std::string &id, std::uint32_t shards);
+
+    /** Terminal or coarse state change (Running/Merging/Done/...). */
+    void jobState(const std::string &id, JobState state,
+                  const std::string &error = "");
+
+    /** Shard execution started on `worker` (attempt number given). */
+    void shardStarted(const std::string &id, std::uint32_t shard,
+                      int worker, std::uint32_t attempt);
+
+    /** Shard finished; `trajectories` = how many the shard owned. */
+    void shardFinished(const std::string &id, std::uint32_t shard,
+                       int worker, double wallMillis,
+                       std::uint64_t trajectories);
+
+    /** One execution of the shard failed (worker death, error). */
+    void shardFailed(const std::string &id, std::uint32_t shard);
+
+    /** Shard re-queued for retry after a failure. */
+    void shardRetried(const std::string &id, std::uint32_t shard);
+
+    /** Speculative re-execution of a straggling shard started. */
+    void shardStolen(const std::string &id, std::uint32_t shard);
+
+    /** Shard permanently failed (attempts exhausted). */
+    void shardExhausted(const std::string &id, std::uint32_t shard);
+
+    // ---------------------------------------------------- queries
+
+    /** Snapshot of one job, if known. */
+    std::optional<JobProgress> job(const std::string &id) const;
+
+    /** Snapshots of every known job, in admission order. */
+    std::vector<JobProgress> jobs() const;
+
+    ServiceTotals totals() const;
+
+    /**
+     * Block until the job reaches a terminal state (or the service
+     * starts shutting down, which throws ServiceError); throws
+     * ServiceError for an unknown id.
+     */
+    JobProgress waitTerminal(const std::string &id) const;
+
+    /** Unblock every waitTerminal() caller (service shutdown). */
+    void close();
+
+  private:
+    struct Entry
+    {
+        JobProgress progress;
+        std::uint64_t order = 0; //!< admission sequence
+        std::chrono::steady_clock::time_point submittedAt;
+        std::chrono::steady_clock::time_point firstStartAt;
+        std::chrono::steady_clock::time_point finishedAt;
+        bool started = false;
+        bool finished = false;
+    };
+
+    mutable std::mutex _mutex;
+    mutable std::condition_variable _changed;
+    std::map<std::string, Entry> _entries;
+    std::uint64_t _nextOrder = 0;
+    bool _closed = false;
+
+    ServiceTotals _totals;
+    std::chrono::steady_clock::time_point _startedAt;
+
+    /** Refresh an entry's derived timing fields.  Lock held. */
+    void refresh(Entry &entry) const;
+
+    Entry *find(const std::string &id);
+};
+
+} // namespace casq
+
+#endif // CASQ_SERVICE_PROGRESS_HH

@@ -1,0 +1,384 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+
+namespace casq {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point from,
+            std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace
+
+ShardResult
+InProcessShardRunner::run(const ShardSpec &spec,
+                          const ShardRunContext &)
+{
+    return executeShard(spec, _threads);
+}
+
+Scheduler::Scheduler(SchedulerOptions options, JobQueue &queue,
+                     ProgressReporter &progress,
+                     std::unique_ptr<ShardRunner> runner)
+    : _options(options), _queue(queue), _progress(progress),
+      _runner(std::move(runner))
+{
+    if (!_runner)
+        _runner = std::make_unique<InProcessShardRunner>();
+    _options.slots = std::max(1u, _options.slots);
+    _slots.reserve(_options.slots);
+    for (unsigned s = 0; s < _options.slots; ++s)
+        _slots.emplace_back([this, s] { slotLoop(s); });
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+void
+Scheduler::notify()
+{
+    _wake.notify_all();
+}
+
+void
+Scheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &slot : _slots) {
+        if (slot.joinable())
+            slot.join();
+    }
+}
+
+Scheduler::CancelOutcome
+Scheduler::cancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _jobs.find(id);
+    if (it == _jobs.end())
+        return CancelOutcome::Unknown;
+    JobRecord &job = *it->second;
+    // A merging job is effectively finished (all compute is spent);
+    // treat it like a terminal job rather than racing the merge.
+    if (jobStateTerminal(job.state) ||
+        job.state == JobState::Merging) {
+        return CancelOutcome::AlreadyTerminal;
+    }
+    job.state = JobState::Cancelled;
+    _progress.jobState(id, JobState::Cancelled);
+    return CancelOutcome::Cancelled;
+}
+
+RunResult
+Scheduler::result(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _jobs.find(id);
+    if (it == _jobs.end() || !it->second->haveMerged) {
+        throw ServiceError("no merged result for job '" + id +
+                           "'");
+    }
+    return it->second->merged;
+}
+
+void
+Scheduler::slotLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        JobRecord *job = nullptr;
+        std::uint32_t shard = 0;
+        bool stolen = false;
+        if (!nextTask(lock, self, job, shard, stolen))
+            return;
+
+        ShardTask &task = job->shards[shard];
+        task.attemptsStarted += 1;
+        task.runningCopies += 1;
+        const std::uint32_t attempt = task.attemptsStarted;
+        if (task.state == ShardState::Pending) {
+            task.state = ShardState::Running;
+            task.startedAt = std::chrono::steady_clock::now();
+        }
+        if (job->state == JobState::Scheduled)
+            job->state = JobState::Running;
+        _executing += 1;
+
+        ShardSpec spec = job->spec.work;
+        spec.shardIndex = shard;
+        ShardRunContext ctx;
+        ctx.jobId = job->spec.id;
+        ctx.shardIndex = shard;
+        ctx.shardCount = spec.shardCount;
+        ctx.attempt = attempt;
+        ctx.worker = self;
+        _progress.shardStarted(ctx.jobId, shard, int(self),
+                               attempt);
+        if (stolen)
+            _progress.shardStolen(ctx.jobId, shard);
+
+        lock.unlock();
+        ShardResult result;
+        std::string error;
+        bool ok = false;
+        const auto begin = std::chrono::steady_clock::now();
+        try {
+            result = _runner->run(spec, ctx);
+            ok = true;
+        } catch (const std::exception &err) {
+            error = err.what();
+        } catch (...) {
+            error = "unknown shard execution failure";
+        }
+        const double wall_millis = millisSince(
+            begin, std::chrono::steady_clock::now());
+        lock.lock();
+        onOutcome(*job, shard, self, ok, std::move(result), error,
+                  wall_millis, lock);
+    }
+}
+
+bool
+Scheduler::nextTask(std::unique_lock<std::mutex> &lock,
+                    unsigned self, JobRecord *&job,
+                    std::uint32_t &shard, bool &stolen)
+{
+    (void)self;
+    for (;;) {
+        if (_stop)
+            return false;
+
+        while (!_ready.empty()) {
+            auto [candidate, k] = _ready.front();
+            _ready.pop_front();
+            // Entries of cancelled/failed jobs are skipped lazily.
+            if (jobStateTerminal(candidate->state))
+                continue;
+            job = candidate;
+            shard = k;
+            stolen = false;
+            return true;
+        }
+
+        if (adoptQueuedJob(lock))
+            continue;
+
+        if (_options.workStealing) {
+            const auto [candidate, k] = stealCandidate();
+            if (candidate) {
+                job = candidate;
+                shard = k;
+                stolen = true;
+                return true;
+            }
+        }
+
+        // With executions in flight a straggler may mature into a
+        // steal candidate, so poll; otherwise sleep until notified
+        // (new submission, outcome, or stop).
+        if (_options.workStealing && _executing > 0) {
+            _wake.wait_for(lock,
+                           std::chrono::milliseconds(50));
+        } else {
+            _wake.wait(lock);
+        }
+    }
+}
+
+bool
+Scheduler::adoptQueuedJob(std::unique_lock<std::mutex> &lock)
+{
+    (void)lock;
+    std::optional<JobSpec> popped = _queue.tryPop();
+    if (!popped)
+        return false;
+    auto record = std::make_unique<JobRecord>();
+    record->spec = std::move(*popped);
+    record->state = JobState::Scheduled;
+    record->shards.resize(record->spec.shards());
+    JobRecord *raw = record.get();
+    _jobs.emplace(raw->spec.id, std::move(record));
+    for (std::uint32_t k = 0; k < raw->spec.shards(); ++k)
+        _ready.emplace_back(raw, k);
+    _progress.jobScheduled(raw->spec.id, raw->spec.shards());
+    // Every slot can help with the freshly planned shards.
+    _wake.notify_all();
+    return true;
+}
+
+std::pair<Scheduler::JobRecord *, std::uint32_t>
+Scheduler::stealCandidate() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    JobRecord *best_job = nullptr;
+    std::uint32_t best_shard = 0;
+    double best_over = 0.0;
+    for (const auto &[id, record] : _jobs) {
+        JobRecord &job = *record;
+        if (jobStateTerminal(job.state) ||
+            job.state == JobState::Merging) {
+            continue;
+        }
+        // Calibrate "straggling" against the job's own completed
+        // shards; before any completion only the (large) grace
+        // threshold applies, so a healthy cold start is never
+        // duplicated.
+        const double threshold =
+            job.completedWallMillis.empty()
+                ? _options.stragglerGraceMillis
+                : std::max(
+                      _options.stragglerMinMillis,
+                      _options.stragglerFactor *
+                          median(job.completedWallMillis));
+        for (std::uint32_t k = 0; k < job.shards.size(); ++k) {
+            const ShardTask &task = job.shards[k];
+            if (task.state != ShardState::Running ||
+                task.runningCopies != 1) {
+                continue;
+            }
+            if (task.attemptsStarted >= _options.maxAttempts)
+                continue;
+            const double over =
+                millisSince(task.startedAt, now) - threshold;
+            if (over > best_over) {
+                best_over = over;
+                best_job = &job;
+                best_shard = k;
+            }
+        }
+    }
+    return {best_job, best_shard};
+}
+
+void
+Scheduler::onOutcome(JobRecord &job, std::uint32_t shard,
+                     unsigned self, bool ok, ShardResult &&result,
+                     const std::string &error, double wallMillis,
+                     std::unique_lock<std::mutex> &lock)
+{
+    _executing -= 1;
+    ShardTask &task = job.shards[shard];
+    task.runningCopies -= 1;
+    _wake.notify_all();
+
+    // The job may have been cancelled or failed while this shard
+    // executed; its outcome is discarded either way.
+    if (jobStateTerminal(job.state))
+        return;
+
+    if (ok) {
+        if (task.state == ShardState::Done)
+            return; // a stolen twin already delivered these bits
+        task.state = ShardState::Done;
+        task.result = std::move(result);
+        task.haveResult = true;
+        job.shardsDone += 1;
+        job.completedWallMillis.push_back(wallMillis);
+        _progress.shardFinished(job.spec.id, shard, int(self),
+                                wallMillis,
+                                ownedTrajectories(job, shard));
+        if (job.shardsDone == job.shards.size())
+            mergeJob(job, lock);
+        return;
+    }
+
+    _progress.shardFailed(job.spec.id, shard);
+    if (task.state == ShardState::Done)
+        return; // the shard already completed via another copy
+    if (task.runningCopies > 0)
+        return; // a speculative copy is still running; let it decide
+    if (task.attemptsStarted >= _options.maxAttempts) {
+        task.state = ShardState::Failed;
+        _progress.shardExhausted(job.spec.id, shard);
+        failJob(job,
+                "shard " + std::to_string(shard) + " failed after " +
+                    std::to_string(task.attemptsStarted) +
+                    " attempt(s): " + error);
+        return;
+    }
+    // Retry: bit-determinism makes re-execution merge-hazard-free.
+    task.state = ShardState::Pending;
+    _ready.emplace_back(&job, shard);
+    _progress.shardRetried(job.spec.id, shard);
+    _wake.notify_all();
+}
+
+void
+Scheduler::failJob(JobRecord &job, const std::string &error)
+{
+    job.state = JobState::Failed;
+    job.error = error;
+    _progress.jobState(job.spec.id, JobState::Failed, error);
+}
+
+void
+Scheduler::mergeJob(JobRecord &job,
+                    std::unique_lock<std::mutex> &lock)
+{
+    job.state = JobState::Merging;
+    _progress.jobState(job.spec.id, JobState::Merging);
+    std::vector<ShardResult> results;
+    results.reserve(job.shards.size());
+    for (ShardTask &task : job.shards) {
+        results.push_back(std::move(task.result));
+        task.haveResult = false;
+    }
+    // The merge is pure CPU over captured payloads; run it without
+    // the scheduler lock so other jobs keep flowing.  cancel()
+    // treats Merging as terminal, so the state cannot change
+    // underneath us.
+    lock.unlock();
+    RunResult merged;
+    std::string error;
+    bool ok = false;
+    try {
+        merged = mergeShards(results);
+        ok = true;
+    } catch (const std::exception &err) {
+        error = err.what();
+    }
+    lock.lock();
+    if (ok) {
+        job.merged = std::move(merged);
+        job.haveMerged = true;
+        job.state = JobState::Done;
+        _progress.jobState(job.spec.id, JobState::Done);
+    } else {
+        failJob(job, "merge failed: " + error);
+    }
+}
+
+std::uint64_t
+Scheduler::ownedTrajectories(const JobRecord &job,
+                             std::uint32_t shard)
+{
+    const std::uint64_t total =
+        std::uint64_t(std::max(0, job.spec.work.trajectories));
+    const std::uint64_t count = job.spec.shards();
+    if (total <= shard)
+        return 0;
+    return (total - shard + count - 1) / count;
+}
+
+} // namespace casq

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Shard scheduler of the job service: a fixed pool of worker slots
+ * executing the shards of many concurrent jobs, with shard-level
+ * retry and work-stealing.
+ *
+ * Jobs are adopted from the JobQueue in FIFO order whenever a slot
+ * runs out of planned work.  Adoption splits the job into
+ * shardCount ShardSpecs via the existing shard planner (the specs
+ * differ only in shardIndex, exactly like `casq_shard plan`) and
+ * appends them to a shared ready deque every slot drains.
+ *
+ * Failure handling leans entirely on the shard determinism
+ * contract (sim/shard.hh): shard execution is bit-deterministic,
+ * so re-executing a shard -- after a worker death, or
+ * speculatively while a straggling copy is still running -- can
+ * never corrupt the merge; whichever attempt completes first
+ * supplies the exact same bytes any other attempt would have.
+ *
+ *  - retry: a failed execution (runner threw: in-process error,
+ *    subprocess death, corrupt result payload) re-queues the shard
+ *    until its attempt budget is exhausted, which fails the job;
+ *  - work-stealing: an idle slot re-executes the longest-running
+ *    shard once it has run for stragglerFactor x the job's median
+ *    completed-shard wall time (at least stragglerMinMillis), so
+ *    one hung worker cannot stall a job forever.
+ *
+ * When the last shard of a job completes, the completing slot runs
+ * the provenance-checked mergeShards() -- the job's result is
+ * byte-identical to a single-process Engine::runEnsemble.
+ */
+
+#ifndef CASQ_SERVICE_SCHEDULER_HH
+#define CASQ_SERVICE_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hh"
+#include "service/progress.hh"
+#include "sim/shard.hh"
+
+namespace casq {
+
+/** One shard execution failed; the scheduler may retry it. */
+class ShardExecutionError : public ServiceError
+{
+  public:
+    explicit ShardExecutionError(const std::string &what)
+        : ServiceError(what)
+    {
+    }
+};
+
+/** Context handed to a runner for diagnostics and chaos hooks. */
+struct ShardRunContext
+{
+    std::string jobId;
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 1;
+    std::uint32_t attempt = 1; //!< 1-based execution attempt
+    unsigned worker = 0;       //!< slot id
+};
+
+/**
+ * Executes one shard spec to a ShardResult.  Implementations throw
+ * (any exception; ShardExecutionError by convention) to signal a
+ * retryable failure.  run() is called concurrently from different
+ * worker slots and must be thread-safe.
+ */
+class ShardRunner
+{
+  public:
+    virtual ~ShardRunner() = default;
+    virtual ShardResult run(const ShardSpec &spec,
+                            const ShardRunContext &ctx) = 0;
+};
+
+/** Default runner: executeShard() in this process. */
+class InProcessShardRunner : public ShardRunner
+{
+  public:
+    /** `threads` = engine workers per shard execution. */
+    explicit InProcessShardRunner(int threads = 1)
+        : _threads(threads)
+    {
+    }
+
+    ShardResult run(const ShardSpec &spec,
+                    const ShardRunContext &ctx) override;
+
+  private:
+    int _threads;
+};
+
+struct SchedulerOptions
+{
+    /** Worker slots (concurrent shard executions). */
+    unsigned slots = 2;
+
+    /** Execution attempts per shard before the job fails. */
+    std::uint32_t maxAttempts = 3;
+
+    /** Enable speculative re-execution of stragglers. */
+    bool workStealing = true;
+
+    /**
+     * A running shard becomes steal-eligible after
+     * max(stragglerMinMillis, stragglerFactor x median completed
+     * shard wall time of its job).  Until a job has a completed
+     * shard to calibrate against, only stragglerGraceMillis
+     * applies.
+     */
+    double stragglerFactor = 4.0;
+    double stragglerMinMillis = 250.0;
+    double stragglerGraceMillis = 30000.0;
+};
+
+/**
+ * Worker-slot pool scheduling shards of many jobs.  Construction
+ * spawns the slots; destruction (or stop()) drains the current
+ * executions and joins them.  All public methods are thread-safe.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(SchedulerOptions options, JobQueue &queue,
+              ProgressReporter &progress,
+              std::unique_ptr<ShardRunner> runner);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Wake an idle slot (new work arrived in the queue). */
+    void notify();
+
+    /** Stop after in-flight shard executions finish; join slots. */
+    void stop();
+
+    enum class CancelOutcome
+    {
+        Cancelled,       //!< job marked cancelled
+        Unknown,         //!< scheduler never adopted this id
+        AlreadyTerminal, //!< done/failed/cancelled (or merging)
+    };
+
+    /** Cancel an adopted job; running shards finish and discard. */
+    CancelOutcome cancel(const std::string &id);
+
+    /**
+     * Merged result of a Done job; throws ServiceError otherwise
+     * (check the ProgressReporter for the job's state first).
+     */
+    RunResult result(const std::string &id) const;
+
+  private:
+    struct ShardTask
+    {
+        ShardState state = ShardState::Pending;
+        std::uint32_t attemptsStarted = 0;
+        int runningCopies = 0; //!< executions in flight (steals: 2)
+        std::chrono::steady_clock::time_point startedAt;
+        ShardResult result;
+        bool haveResult = false;
+    };
+
+    struct JobRecord
+    {
+        JobSpec spec;
+        JobState state = JobState::Scheduled;
+        std::string error;
+        std::vector<ShardTask> shards;
+        std::uint32_t shardsDone = 0;
+        std::vector<double> completedWallMillis;
+        RunResult merged;
+        bool haveMerged = false;
+    };
+
+    SchedulerOptions _options;
+    JobQueue &_queue;
+    ProgressReporter &_progress;
+    std::unique_ptr<ShardRunner> _runner;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;
+    std::map<std::string, std::unique_ptr<JobRecord>> _jobs;
+    std::deque<std::pair<JobRecord *, std::uint32_t>> _ready;
+    int _executing = 0; //!< shard executions currently in flight
+    bool _stop = false;
+    std::vector<std::thread> _slots;
+
+    void slotLoop(unsigned self);
+
+    /**
+     * Claim the next unit of work for slot `self`: a ready shard, a
+     * freshly adopted job's first shard, or a steal.  Returns false
+     * when the scheduler is stopping.  Lock held across the call;
+     * released/reacquired only around queue adoption.
+     */
+    bool nextTask(std::unique_lock<std::mutex> &lock, unsigned self,
+                  JobRecord *&job, std::uint32_t &shard,
+                  bool &stolen);
+
+    /** Adopt the next queued job; lock held.  True if adopted. */
+    bool adoptQueuedJob(std::unique_lock<std::mutex> &lock);
+
+    /** Straggler eligible for speculation, or nullptr.  Lock held. */
+    std::pair<JobRecord *, std::uint32_t> stealCandidate() const;
+
+    /** Process one execution outcome; lock held. */
+    void onOutcome(JobRecord &job, std::uint32_t shard,
+                   unsigned self, bool ok, ShardResult &&result,
+                   const std::string &error, double wallMillis,
+                   std::unique_lock<std::mutex> &lock);
+
+    /** Fail a job: drop pending work, mark terminal.  Lock held. */
+    void failJob(JobRecord &job, const std::string &error);
+
+    /** Merge a job whose shards are all done.  Lock held on entry
+     *  and exit; released during the merge itself. */
+    void mergeJob(JobRecord &job,
+                  std::unique_lock<std::mutex> &lock);
+
+    /** Trajectories shard `k` of the job owns. */
+    static std::uint64_t ownedTrajectories(const JobRecord &job,
+                                           std::uint32_t shard);
+};
+
+} // namespace casq
+
+#endif // CASQ_SERVICE_SCHEDULER_HH

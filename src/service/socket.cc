@@ -1,0 +1,274 @@
+#include "service/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/job.hh"
+
+namespace casq {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw ServiceError(what + ": " + std::strerror(errno));
+}
+
+void
+sendAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("socket write failed");
+        }
+        sent += std::size_t(n);
+    }
+}
+
+/** False on EOF at the first byte; throws on mid-read EOF/error. */
+bool
+recvAll(int fd, std::uint8_t *data, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, data + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("socket read failed");
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false;
+            throw ServiceError(
+                "connection closed mid-frame (got " +
+                std::to_string(got) + " of " +
+                std::to_string(size) + " byte(s))");
+        }
+        got += std::size_t(n);
+    }
+    return true;
+}
+
+sockaddr_un
+makeAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw ServiceError("socket path '" + path +
+                           "' is empty or longer than " +
+                           std::to_string(sizeof(addr.sun_path) -
+                                          1) +
+                           " byte(s)");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+// ------------------------------------------------------ LocalSocket
+
+LocalSocket::~LocalSocket()
+{
+    close();
+}
+
+LocalSocket::LocalSocket(LocalSocket &&other) noexcept
+    : _fd(other._fd)
+{
+    other._fd = -1;
+}
+
+LocalSocket &
+LocalSocket::operator=(LocalSocket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        other._fd = -1;
+    }
+    return *this;
+}
+
+void
+LocalSocket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+LocalSocket
+LocalSocket::connect(const std::string &path)
+{
+    const sockaddr_un addr = makeAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket() failed");
+    LocalSocket sock(fd);
+    for (;;) {
+        if (::connect(fd,
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            return sock;
+        }
+        if (errno == EINTR)
+            continue;
+        throw ServiceError("cannot connect to daemon at '" + path +
+                           "': " + std::strerror(errno));
+    }
+}
+
+void
+LocalSocket::sendFrame(const std::vector<std::uint8_t> &payload)
+{
+    if (!valid())
+        throw ServiceError("sendFrame on a closed socket");
+    if (payload.size() > kMaxFrameBytes) {
+        throw ServiceError("frame of " +
+                           std::to_string(payload.size()) +
+                           " byte(s) exceeds the " +
+                           std::to_string(kMaxFrameBytes) +
+                           "-byte bound");
+    }
+    const std::uint32_t size = std::uint32_t(payload.size());
+    std::uint8_t prefix[4] = {
+        std::uint8_t(size), std::uint8_t(size >> 8),
+        std::uint8_t(size >> 16), std::uint8_t(size >> 24)};
+    sendAll(_fd, prefix, sizeof(prefix));
+    if (!payload.empty())
+        sendAll(_fd, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>>
+LocalSocket::recvFrame()
+{
+    if (!valid())
+        throw ServiceError("recvFrame on a closed socket");
+    std::uint8_t prefix[4];
+    if (!recvAll(_fd, prefix, sizeof(prefix)))
+        return std::nullopt;
+    const std::uint32_t size =
+        std::uint32_t(prefix[0]) | std::uint32_t(prefix[1]) << 8 |
+        std::uint32_t(prefix[2]) << 16 |
+        std::uint32_t(prefix[3]) << 24;
+    if (size > kMaxFrameBytes) {
+        throw ServiceError("frame length " + std::to_string(size) +
+                           " exceeds the " +
+                           std::to_string(kMaxFrameBytes) +
+                           "-byte bound (corrupt stream?)");
+    }
+    std::vector<std::uint8_t> payload(size);
+    if (size && !recvAll(_fd, payload.data(), size)) {
+        throw ServiceError(
+            "connection closed before the frame body");
+    }
+    return payload;
+}
+
+// ---------------------------------------------------- LocalListener
+
+LocalListener::~LocalListener()
+{
+    close();
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    if (!_path.empty())
+        ::unlink(_path.c_str());
+}
+
+LocalListener::LocalListener(LocalListener &&other) noexcept
+    : _fd(other._fd), _path(std::move(other._path)),
+      _closing(other._closing.load())
+{
+    other._fd = -1;
+    other._path.clear();
+}
+
+LocalListener &
+LocalListener::operator=(LocalListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        if (_fd >= 0) {
+            ::close(_fd);
+            _fd = -1;
+        }
+        if (!_path.empty())
+            ::unlink(_path.c_str());
+        _fd = other._fd;
+        _path = std::move(other._path);
+        _closing.store(other._closing.load());
+        other._fd = -1;
+        other._path.clear();
+    }
+    return *this;
+}
+
+LocalListener
+LocalListener::bind(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = makeAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket() failed");
+    LocalListener listener;
+    listener._fd = fd;
+    // A stale socket file from a dead daemon would fail the bind.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throw ServiceError("cannot bind '" + path +
+                           "': " + std::strerror(errno));
+    }
+    listener._path = path;
+    if (::listen(fd, backlog) != 0)
+        throwErrno("listen() failed");
+    return listener;
+}
+
+LocalSocket
+LocalListener::accept()
+{
+    for (;;) {
+        if (_closing.load() || _fd < 0)
+            return LocalSocket();
+        const int fd = ::accept(_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return LocalSocket(fd);
+        if (errno == EINTR)
+            continue;
+        if (_closing.load())
+            return LocalSocket();
+        throwErrno("accept() failed");
+    }
+}
+
+void
+LocalListener::close()
+{
+    _closing.store(true);
+    if (_fd >= 0) {
+        // shutdown() wakes a blocked accept(); the fd itself stays
+        // open until destruction so no other thread can race a
+        // reused descriptor number.
+        ::shutdown(_fd, SHUT_RDWR);
+    }
+}
+
+} // namespace casq

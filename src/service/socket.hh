@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Local-socket transport of the job service: AF_UNIX stream
+ * sockets carrying length-prefixed frames.
+ *
+ * Framing is deliberately dumb -- a u32 little-endian byte count
+ * followed by exactly that many payload bytes -- so the protocol
+ * layer (service/protocol.hh) always sees whole messages and the
+ * transport never has to understand them.  Frames are bounded by
+ * kMaxFrameBytes so a corrupt or hostile length prefix cannot
+ * trigger an unbounded allocation.
+ *
+ * Blocking I/O with EINTR retry; writes use MSG_NOSIGNAL so a
+ * vanished peer surfaces as a ServiceError instead of SIGPIPE.
+ * LocalListener::close() is safe to call from another thread and
+ * unblocks a pending accept() (daemon shutdown).
+ */
+
+#ifndef CASQ_SERVICE_SOCKET_HH
+#define CASQ_SERVICE_SOCKET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace casq {
+
+/** Frame-size bound (256 MiB) -- far above any real payload. */
+constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/** One connected AF_UNIX stream socket (move-only RAII fd). */
+class LocalSocket
+{
+  public:
+    LocalSocket() = default;
+    explicit LocalSocket(int fd) : _fd(fd) {}
+    ~LocalSocket();
+
+    LocalSocket(LocalSocket &&other) noexcept;
+    LocalSocket &operator=(LocalSocket &&other) noexcept;
+    LocalSocket(const LocalSocket &) = delete;
+    LocalSocket &operator=(const LocalSocket &) = delete;
+
+    bool valid() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+    void close();
+
+    /** Connect to a listening daemon; throws ServiceError. */
+    static LocalSocket connect(const std::string &path);
+
+    /** Write one length-prefixed frame; throws ServiceError. */
+    void sendFrame(const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Read one frame.  nullopt on clean EOF before any length
+     * byte; throws ServiceError on I/O errors, truncation inside a
+     * frame, or an oversized length prefix.
+     */
+    std::optional<std::vector<std::uint8_t>> recvFrame();
+
+  private:
+    int _fd = -1;
+};
+
+/** Listening AF_UNIX socket bound to a filesystem path. */
+class LocalListener
+{
+  public:
+    LocalListener() = default;
+    ~LocalListener();
+
+    LocalListener(LocalListener &&other) noexcept;
+    LocalListener &operator=(LocalListener &&other) noexcept;
+    LocalListener(const LocalListener &) = delete;
+    LocalListener &operator=(const LocalListener &) = delete;
+
+    /**
+     * Bind + listen on `path` (any stale socket file is removed
+     * first); throws ServiceError on failure or an over-long path.
+     */
+    static LocalListener bind(const std::string &path,
+                              int backlog = 16);
+
+    /**
+     * Accept the next connection; returns an invalid socket once
+     * close() was called.  Throws ServiceError on other failures.
+     */
+    LocalSocket accept();
+
+    /** Unblock accept() and stop listening (thread-safe). */
+    void close();
+
+    bool valid() const { return _fd >= 0; }
+    const std::string &path() const { return _path; }
+
+  private:
+    int _fd = -1;
+    std::string _path;
+    std::atomic<bool> _closing{false};
+};
+
+} // namespace casq
+
+#endif // CASQ_SERVICE_SOCKET_HH

@@ -309,10 +309,11 @@ ShardSpec::encode() const
     return w.take();
 }
 
+namespace {
+
 ShardSpec
-ShardSpec::decode(const std::uint8_t *data, std::size_t size)
+decodeSpecBody(ByteReader &r)
 {
-    ByteReader r(data, size);
     readMagic(r, kSpecMagic, "shard-spec");
     ShardSpec spec;
     spec.shardIndex = r.u32();
@@ -355,6 +356,24 @@ ShardSpec::decode(const std::uint8_t *data, std::size_t size)
     spec.seed = r.u64();
     r.requireEnd();
     return spec;
+}
+
+} // namespace
+
+ShardSpec
+ShardSpec::decode(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader r(data, size);
+    // Semantic validation errors (corrupt opcodes, bad ranges, ...)
+    // are raised after the reads that exposed them succeeded; stamp
+    // the reader position on them so diagnostics can name where in
+    // the payload decoding stopped.
+    try {
+        return decodeSpecBody(r);
+    } catch (SerializeError &err) {
+        err.attachOffset(r.offset());
+        throw;
+    }
 }
 
 ShardSpec
@@ -450,10 +469,11 @@ ShardResult::encode() const
     return w.take();
 }
 
+namespace {
+
 ShardResult
-ShardResult::decode(const std::uint8_t *data, std::size_t size)
+decodeResultBody(ByteReader &r)
 {
-    ByteReader r(data, size);
     readMagic(r, kResultMagic, "shard-result");
     ShardResult result;
     result.shardIndex = r.u32();
@@ -494,6 +514,20 @@ ShardResult::decode(const std::uint8_t *data, std::size_t size)
         result.slots.push_back(r.f64());
     r.requireEnd();
     return result;
+}
+
+} // namespace
+
+ShardResult
+ShardResult::decode(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader r(data, size);
+    try {
+        return decodeResultBody(r);
+    } catch (SerializeError &err) {
+        err.attachOffset(r.offset());
+        throw;
+    }
 }
 
 ShardResult

@@ -32,6 +32,7 @@
 #include "bench_common.hh"
 #include "common/serialize.hh"
 #include "sim/shard.hh"
+#include "tool_common.hh"
 
 using namespace casq;
 
@@ -209,7 +210,7 @@ cmdRun(int argc, char **argv)
     }
 
     const ShardSpec spec =
-        ShardSpec::decode(readBinaryFile(spec_path));
+        tool::decodePayloadFile<ShardSpec>(spec_path);
     const ShardResult result = executeShard(spec, threads);
     writeBinaryFile(out_path, result.encode());
     std::cerr << "shard " << spec.shardIndex << "/"
@@ -241,7 +242,7 @@ cmdMerge(int argc, char **argv)
     shards.reserve(paths.size());
     for (const std::string &path : paths)
         shards.push_back(
-            ShardResult::decode(readBinaryFile(path)));
+            tool::decodePayloadFile<ShardResult>(path));
     const RunResult merged = mergeShards(shards);
     std::cerr << "merged " << shards.size() << " shard"
               << (shards.size() == 1 ? "" : "s") << " of job "
@@ -271,7 +272,8 @@ cmdDescribe(int argc, char **argv)
         std::cerr << "describe: need a payload file\n";
         return 1;
     }
-    const auto bytes = readBinaryFile(argv[2]);
+    const std::string path = argv[2];
+    const auto bytes = tool::readPayloadFile(path);
     // Dispatch on the magic so a corrupt spec reports the spec
     // decoder's diagnostic instead of a misleading result-decode
     // failure.
@@ -279,7 +281,8 @@ cmdDescribe(int argc, char **argv)
         bytes.size() >= 4 && bytes[0] == 'C' && bytes[1] == 'S' &&
         bytes[2] == 'Q' && bytes[3] == 'S';
     if (is_spec) {
-        const ShardSpec spec = ShardSpec::decode(bytes);
+        const ShardSpec spec =
+            tool::decodePayload<ShardSpec>(path, bytes);
         std::cout << "shard spec " << spec.shardIndex << "/"
                   << spec.shardCount << "\n"
                   << "  job fingerprint " << std::hex
@@ -304,7 +307,8 @@ cmdDescribe(int argc, char **argv)
                   << " seed " << spec.seed << "\n";
         return 0;
     }
-    const ShardResult result = ShardResult::decode(bytes);
+    const ShardResult result =
+        tool::decodePayload<ShardResult>(path, bytes);
     std::cout << "shard result " << result.shardIndex << "/"
               << result.shardCount << "\n"
               << "  job fingerprint " << std::hex
@@ -329,7 +333,7 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage(std::cerr, 1);
     const std::string command = argv[1];
-    try {
+    return tool::runTool("casq_shard", [&]() -> int {
         if (command == "plan")
             return cmdPlan(argc, argv);
         if (command == "run")
@@ -340,10 +344,7 @@ main(int argc, char **argv)
             return cmdDescribe(argc, argv);
         if (command == "--help" || command == "help")
             return usage(std::cout, 0);
-    } catch (const std::exception &err) {
-        std::cerr << "error: " << err.what() << "\n";
-        return 1;
-    }
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage(std::cerr, 1);
+        std::cerr << "unknown command '" << command << "'\n";
+        return usage(std::cerr, 1);
+    });
 }
