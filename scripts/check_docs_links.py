@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and their #anchors) in the docs.
+
+Scans README.md and docs/*.md for inline links, resolves every
+relative target against the repo tree, and verifies fragment anchors
+against the GitHub heading-slug of the target file. External links
+(http/https/mailto) are ignored. Exits 1 listing every broken link.
+
+Usage: python3 scripts/check_docs_links.py [repo_root]
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    # Inline code/links render as their text before slugging.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "")
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum() or ch in "_-":
+            slug.append(ch)
+        elif ch in " ":
+            slug.append("-")
+        elif unicodedata.category(ch).startswith("L"):
+            slug.append(ch)
+        # everything else (punctuation, arrows) is dropped
+    return "".join(slug)
+
+
+def collect(md: Path):
+    """Return (links, anchors) of one markdown file."""
+    links = []  # (lineno, target)
+    anchors = set()
+    dup_counts = {}
+    in_fence = False
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slug = github_slug(m.group(2))
+            n = dup_counts.get(slug, 0)
+            dup_counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        for link in LINK_RE.finditer(line):
+            links.append((lineno, link.group(1)))
+    return links, anchors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__
+    ).resolve().parent.parent
+    files = sorted(
+        [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    )
+    files = [f for f in files if f.is_file()]
+
+    links_of = {}
+    anchors_of = {}
+    for f in files:
+        links_of[f], anchors_of[f] = collect(f)
+
+    errors = []
+    checked = 0
+    for f in files:
+        for lineno, target in links_of[f]:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            where = f"{f.relative_to(root)}:{lineno}"
+            path_part, _, fragment = target.partition("#")
+            dest = f if not path_part else (
+                f.parent / path_part
+            ).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: missing target '{target}'")
+                continue
+            if fragment:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue
+                anchors = anchors_of.get(dest)
+                if anchors is None:
+                    _, anchors = collect(dest)
+                    anchors_of[dest] = anchors
+                if fragment not in anchors:
+                    errors.append(
+                        f"{where}: anchor '#{fragment}' not found in "
+                        f"{dest.relative_to(root)} "
+                        f"(have: {', '.join(sorted(anchors))})"
+                    )
+
+    for e in errors:
+        print(f"BROKEN {e}", file=sys.stderr)
+    print(
+        f"check_docs_links: {checked} relative links across "
+        f"{len(files)} files, {len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,4 +70,43 @@ Conjugation2Q::conjugate(const Pauli2 &p) const
     return _table[index(p)];
 }
 
+Conjugation1Q::Conjugation1Q(const CMat &u, double tol)
+{
+    casq_assert(u.rows() == 2 && u.cols() == 2,
+                "Conjugation1Q requires a 2x2 unitary");
+    casq_assert(u.isUnitary(1e-7), "Conjugation1Q input is not unitary");
+    const CMat udag = u.dagger();
+    _table[0] = SignedPauli1{PauliOp::I, 1};
+    for (int k = 1; k < 4; ++k) {
+        const PauliOp p = PauliOp(k);
+        const CMat m = u * pauliMatrix(p) * udag;
+        // Same detection as Conjugation2Q: Hilbert-Schmidt overlap
+        // tr(Q m)/2, confirmed entry-wise.
+        std::optional<SignedPauli1> found;
+        for (int j = 1; j < 4; ++j) {
+            const PauliOp q = PauliOp(j);
+            const Complex overlap = (pauliMatrix(q) * m).trace() * 0.5;
+            if (std::abs(std::abs(overlap.real()) - 1.0) < tol &&
+                std::abs(overlap.imag()) < tol) {
+                const int sign = overlap.real() > 0 ? 1 : -1;
+                const CMat expected =
+                    pauliMatrix(q) * Complex(double(sign), 0.0);
+                if (m.approxEqual(expected, 1e-6)) {
+                    found = SignedPauli1{q, sign};
+                    break;
+                }
+            }
+        }
+        _table[k] = found;
+        if (!found)
+            _isClifford = false;
+    }
+}
+
+std::optional<SignedPauli1>
+Conjugation1Q::conjugate(PauliOp p) const
+{
+    return _table[std::size_t(p)];
+}
+
 } // namespace casq

@@ -40,6 +40,13 @@ struct SignedPauli2
     int sign = 1;
 };
 
+/** A single-qubit Pauli together with a +-1 sign. */
+struct SignedPauli1
+{
+    PauliOp op = PauliOp::I;
+    int sign = 1;
+};
+
 /** The 16 two-qubit Paulis in (op1, op0) lexicographic order. */
 std::array<Pauli2, 16> allPauli2();
 
@@ -79,6 +86,31 @@ class Conjugation2Q
     bool _isClifford = true;
 
     static std::size_t index(const Pauli2 &p);
+};
+
+/**
+ * Conjugation table of a fixed 2x2 unitary: the single-qubit
+ * counterpart of Conjugation2Q, used by the stabilizer backend's
+ * Clifford-eligibility analysis and generator-image derivation.
+ */
+class Conjugation1Q
+{
+  public:
+    /** Build the table by conjugating X, Y, Z through u. */
+    explicit Conjugation1Q(const CMat &u, double tol = 1e-8);
+
+    /** True if every Pauli maps to a signed Pauli (U is Clifford). */
+    bool isClifford() const { return _isClifford; }
+
+    /**
+     * Conjugation U P U^dagger of the given Pauli, or nullopt when
+     * the image is not a signed Pauli.
+     */
+    std::optional<SignedPauli1> conjugate(PauliOp p) const;
+
+  private:
+    std::array<std::optional<SignedPauli1>, 4> _table;
+    bool _isClifford = true;
 };
 
 } // namespace casq

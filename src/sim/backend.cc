@@ -1,0 +1,61 @@
+#include "sim/backend.hh"
+
+#include "common/logging.hh"
+#include "sim/stabilizer.hh"
+
+namespace casq {
+
+const char *
+simBackendKindName(SimBackendKind kind)
+{
+    switch (kind) {
+      case SimBackendKind::Auto:
+        return "auto";
+      case SimBackendKind::Dense:
+        return "dense";
+      case SimBackendKind::Stabilizer:
+        return "stabilizer";
+    }
+    return "?";
+}
+
+std::optional<SimBackendKind>
+simBackendKindFromName(const std::string &name)
+{
+    if (name == "auto")
+        return SimBackendKind::Auto;
+    if (name == "dense")
+        return SimBackendKind::Dense;
+    if (name == "stabilizer")
+        return SimBackendKind::Stabilizer;
+    return std::nullopt;
+}
+
+int
+StateBackend::measure(std::uint32_t q, Rng &rng)
+{
+    // One uniform per measurement, drawn after probabilityOne and
+    // before collapse, on every backend: the shared sequence is the
+    // cross-backend RNG-stream contract (docs/backends.md).
+    const double p1 = probabilityOne(q);
+    const int outcome = rng.uniform() < p1 ? 1 : 0;
+    collapse(q, outcome);
+    return outcome;
+}
+
+std::unique_ptr<StateBackend>
+makeStateBackend(SimBackendKind kind, std::size_t num_qubits)
+{
+    switch (kind) {
+      case SimBackendKind::Dense:
+        return std::make_unique<DenseBackend>(num_qubits);
+      case SimBackendKind::Stabilizer:
+        return std::make_unique<StabilizerBackend>(num_qubits);
+      case SimBackendKind::Auto:
+        break;
+    }
+    casq_panic("makeStateBackend: Auto is a routing policy, not a "
+               "constructible backend");
+}
+
+} // namespace casq

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The pluggable simulation-backend seam: every trajectory of the
+ * SimulationEngine drives its quantum state through the abstract
+ * StateBackend kernel surface (generic 1q/2q gates, the fused
+ * diagonal-phase kernel, Pauli injection, measurement, amplitude
+ * damping, Pauli expectation values).  DenseBackend wraps the exact
+ * Statevector; StabilizerBackend (sim/stabilizer.hh) is the
+ * CHP-style tableau fast path for Clifford-only trajectories.
+ *
+ * The engine resolves SimBackendKind::Auto per compiled variant: a
+ * variant whose every instruction, noise phase and sampled error is
+ * Clifford routes to the tableau, everything else falls back to the
+ * dense path bit-identically.  docs/backends.md documents the
+ * contract, the eligibility rules and the determinism statement.
+ */
+
+#ifndef CASQ_SIM_BACKEND_HH
+#define CASQ_SIM_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/matrix.hh"
+#include "common/rng.hh"
+#include "pauli/pauli.hh"
+#include "sim/statevector.hh"
+
+namespace casq {
+
+/** Which simulation substrate executes a trajectory. */
+enum class SimBackendKind : std::uint8_t
+{
+    Auto = 0,       //!< per-variant: tableau when Clifford, else dense
+    Dense = 1,      //!< exact statevector (O(2^n) per trajectory)
+    Stabilizer = 2, //!< CHP Pauli tableau (O(n^2) per Clifford gate)
+};
+
+/** Lower-case name of a backend kind ("auto", "dense", ...). */
+const char *simBackendKindName(SimBackendKind kind);
+
+/** Parse a backend-kind name; nullopt when unrecognized. */
+std::optional<SimBackendKind>
+simBackendKindFromName(const std::string &name);
+
+/**
+ * Abstract per-trajectory quantum state.
+ *
+ * The interface is exactly the kernel surface TrajectoryRunner
+ * (sim/engine.cc) needs; angles handed to applyRz/applyPhases follow
+ * the Statevector convention Rz(theta) = exp(-i theta Z / 2).  An
+ * implementation that cannot represent an operation (e.g. a
+ * non-Clifford gate on the tableau) must fail loudly rather than
+ * approximate -- routing is the engine's job, not the backend's.
+ *
+ * measure() is deliberately non-virtual: every backend consumes the
+ * trajectory RNG stream through the identical
+ * probabilityOne -> uniform -> collapse sequence, which is what
+ * keeps dense and stabilizer trajectories of the same seed on the
+ * same random branch (see docs/backends.md, "Determinism").
+ */
+class StateBackend
+{
+  public:
+    virtual ~StateBackend() = default;
+
+    virtual SimBackendKind kind() const = 0;
+    virtual std::size_t numQubits() const = 0;
+
+    /** Reset to |0...0>. */
+    virtual void reset() = 0;
+
+    /** Apply a 2x2 unitary to qubit q. */
+    virtual void applyGate1q(const CMat &u, std::uint32_t q) = 0;
+
+    /** Apply a 4x4 unitary to (q0 = less significant, q1). */
+    virtual void applyGate2q(const CMat &u, std::uint32_t q0,
+                             std::uint32_t q1) = 0;
+
+    /** Rz(theta) on q (diagonal fast path). */
+    virtual void applyRz(std::uint32_t q, double theta) = 0;
+
+    /** Fused diagonal kernel: all Rz and Rzz angles of one segment. */
+    virtual void
+    applyPhases(const std::vector<QubitAngle> &z_angles,
+                const std::vector<PairAngle> &zz_angles) = 0;
+
+    /** Apply a single-qubit Pauli by enum. */
+    virtual void applyPauliOp(PauliOp op, std::uint32_t q) = 0;
+
+    /** Probability that qubit q reads 1. */
+    virtual double probabilityOne(std::uint32_t q) const = 0;
+
+    /** Project qubit q onto `outcome` and renormalize. */
+    virtual void collapse(std::uint32_t q, int outcome) = 0;
+
+    /** Amplitude-damping jump channel (tau idling, T1 relaxation). */
+    virtual void amplitudeDamp(std::uint32_t q, double tau,
+                               double t1, Rng &rng) = 0;
+
+    /** Expectation <psi| P |psi> (real part). */
+    virtual double expectation(const PauliString &p) const = 0;
+
+    /**
+     * Projective measurement with collapse; returns the outcome.
+     * Shared across backends so all of them draw the RNG stream
+     * identically (one uniform per measurement).
+     */
+    int measure(std::uint32_t q, Rng &rng);
+};
+
+/** The exact dense statevector behind the StateBackend interface. */
+class DenseBackend final : public StateBackend
+{
+  public:
+    explicit DenseBackend(std::size_t num_qubits)
+        : _state(num_qubits)
+    {
+    }
+
+    SimBackendKind
+    kind() const override
+    {
+        return SimBackendKind::Dense;
+    }
+
+    std::size_t
+    numQubits() const override
+    {
+        return _state.numQubits();
+    }
+
+    void
+    reset() override
+    {
+        _state.reset();
+    }
+
+    void
+    applyGate1q(const CMat &u, std::uint32_t q) override
+    {
+        _state.applyGate1q(u, q);
+    }
+
+    void
+    applyGate2q(const CMat &u, std::uint32_t q0,
+                std::uint32_t q1) override
+    {
+        _state.applyGate2q(u, q0, q1);
+    }
+
+    void
+    applyRz(std::uint32_t q, double theta) override
+    {
+        _state.applyRz(q, theta);
+    }
+
+    void
+    applyPhases(const std::vector<QubitAngle> &z_angles,
+                const std::vector<PairAngle> &zz_angles) override
+    {
+        _state.applyPhases(z_angles, zz_angles);
+    }
+
+    void
+    applyPauliOp(PauliOp op, std::uint32_t q) override
+    {
+        _state.applyPauliOp(op, q);
+    }
+
+    double
+    probabilityOne(std::uint32_t q) const override
+    {
+        return _state.probabilityOne(q);
+    }
+
+    void
+    collapse(std::uint32_t q, int outcome) override
+    {
+        _state.collapse(q, outcome);
+    }
+
+    void
+    amplitudeDamp(std::uint32_t q, double tau, double t1,
+                  Rng &rng) override
+    {
+        _state.amplitudeDamp(q, tau, t1, rng);
+    }
+
+    double
+    expectation(const PauliString &p) const override
+    {
+        return _state.expectation(p);
+    }
+
+    /** The wrapped statevector (tests and benches peek at it). */
+    Statevector &state() { return _state; }
+    const Statevector &state() const { return _state; }
+
+  private:
+    Statevector _state;
+};
+
+/**
+ * Construct a concrete backend (kind must be Dense or Stabilizer --
+ * Auto is a routing policy, not a substrate).
+ */
+std::unique_ptr<StateBackend>
+makeStateBackend(SimBackendKind kind, std::size_t num_qubits);
+
+} // namespace casq
+
+#endif // CASQ_SIM_BACKEND_HH

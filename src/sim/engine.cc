@@ -8,7 +8,9 @@
 #include "circuit/unitary.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
-#include "sim/statevector.hh"
+#include "pauli/clifford.hh"
+#include "sim/backend.hh"
+#include "sim/stabilizer.hh"
 #include "sim/timeline.hh"
 
 namespace casq {
@@ -52,8 +54,22 @@ struct CompiledVariant
     std::vector<CMat> unitaries; //!< per scheduled instruction
     std::uint64_t fingerprint = 0;
 
+    /**
+     * True when every instruction unitary, every compiled noise
+     * phase and every sampled error of this variant is Clifford, so
+     * SimBackendKind::Auto may route its trajectories to the
+     * stabilizer tableau.  When false, stabilizerBlocker names the
+     * first offender (docs/backends.md lists the rules).
+     */
+    bool stabilizerEligible = true;
+    std::string stabilizerBlocker;
+
     CompiledVariant(const ScheduledCircuit &circuit,
                     const Backend &backend, const NoiseModel &noise);
+
+  private:
+    void analyzeStabilizerEligibility(const Backend &backend,
+                                      const NoiseModel &noise);
 };
 
 CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
@@ -170,6 +186,73 @@ CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
                     plan.detZ.push_back(QubitAngle{q, merged[q]});
         }
     }
+
+    analyzeStabilizerEligibility(backend, noise);
+}
+
+void
+CompiledVariant::analyzeStabilizerEligibility(const Backend &backend,
+                                              const NoiseModel &noise)
+{
+    const auto block = [this](std::string why) {
+        stabilizerEligible = false;
+        stabilizerBlocker = std::move(why);
+    };
+
+    // Stochastic noise channels first: on the standard model this
+    // blocks immediately, so the per-instruction work below never
+    // runs on the paper workloads.
+    if (std::string why = noise.cliffordBlocker(backend);
+        !why.empty()) {
+        block(std::move(why));
+        return;
+    }
+
+    // Every compiled coherent phase must be a quarter turn.
+    for (const SegmentPlan &plan : plans) {
+        for (const QubitAngle &za : plan.detZ) {
+            if (!StabilizerBackend::quarterTurns(za.theta)) {
+                block(detail::format(
+                    "coherent Z angle ", za.theta, " on qubit ",
+                    za.qubit, " is not a multiple of pi/2"));
+                return;
+            }
+        }
+        for (const PairAngle &zz : plan.detZz) {
+            if (!StabilizerBackend::quarterTurns(zz.theta)) {
+                block(detail::format(
+                    "coherent ZZ angle ", zz.theta, " on pair (",
+                    zz.q0, ", ", zz.q1,
+                    ") is not a multiple of pi/2"));
+                return;
+            }
+        }
+    }
+
+    // Every instruction unitary must be Clifford; distinct
+    // (op, params) combinations repeat heavily, so memoize the
+    // numeric conjugation check by matrix bytes.
+    std::unordered_map<std::string, bool> memo;
+    const auto &insts = timeline.circuit().instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const CMat &u = unitaries[i];
+        if (u.rows() == 0)
+            continue;
+        std::string key(u.data().size() * sizeof(Complex), '\0');
+        std::memcpy(key.data(), u.data().data(), key.size());
+        auto [it, fresh] = memo.emplace(key, false);
+        if (fresh) {
+            it->second = u.rows() == 2
+                             ? Conjugation1Q(u).isClifford()
+                             : Conjugation2Q(u).isClifford();
+        }
+        if (!it->second) {
+            block(detail::format(
+                "non-Clifford gate ", opName(insts[i].inst.op),
+                " at instruction ", i));
+            return;
+        }
+    }
 }
 
 } // namespace detail
@@ -252,6 +335,38 @@ sameSchedule(const ScheduledCircuit &a, const ScheduledCircuit &b)
     return true;
 }
 
+// ------------------------------------------------ backend routing
+
+/**
+ * The substrate a trajectory of `variant` runs on.  Auto prefers
+ * the tableau exactly when the variant's whole execution is
+ * Clifford; forcing Stabilizer on an ineligible variant is a user
+ * error and exits with the blocker diagnostic.
+ */
+SimBackendKind
+resolveTrajectoryBackend(SimBackendKind requested,
+                         const CompiledVariant &variant)
+{
+    switch (requested) {
+      case SimBackendKind::Auto:
+        return variant.stabilizerEligible
+                   ? SimBackendKind::Stabilizer
+                   : SimBackendKind::Dense;
+      case SimBackendKind::Stabilizer:
+        if (!variant.stabilizerEligible) {
+            casq_fatal(
+                "circuit is not Clifford, so --backend stabilizer "
+                "cannot simulate it (",
+                variant.stabilizerBlocker,
+                "); use --backend auto or dense");
+        }
+        return SimBackendKind::Stabilizer;
+      case SimBackendKind::Dense:
+        break;
+    }
+    return SimBackendKind::Dense;
+}
+
 // ------------------------------------------------ trajectory state
 
 /** State of one trajectory run, reused across trajectories. */
@@ -262,7 +377,7 @@ class TrajectoryRunner
                      std::size_t num_qubits, std::size_t num_clbits)
         : _backend(backend),
           _noise(noise),
-          _state(num_qubits),
+          _numQubits(num_qubits),
           _clbits(num_clbits, 0),
           _pendingT1(num_qubits, 0.0),
           _cpSign(num_qubits, 1),
@@ -271,11 +386,16 @@ class TrajectoryRunner
     {
     }
 
-    void
+    /** Execute one trajectory; returns the substrate it ran on. */
+    SimBackendKind
     run(const CompiledVariant &variant, Rng &rng,
-        const std::vector<PauliString> &observables, double *out)
+        const std::vector<PauliString> &observables, double *out,
+        SimBackendKind requested)
     {
-        _state.reset();
+        const SimBackendKind kind =
+            resolveTrajectoryBackend(requested, variant);
+        _state = &stateFor(kind);
+        _state->reset();
         std::fill(_clbits.begin(), _clbits.end(), 0);
         std::fill(_pendingT1.begin(), _pendingT1.end(), 0.0);
         sampleShotNoise(rng);
@@ -294,23 +414,53 @@ class TrajectoryRunner
         }
         flushAllT1(rng);
         for (std::size_t k = 0; k < observables.size(); ++k)
-            out[k] = _state.expectation(observables[k]);
+            out[k] = _state->expectation(observables[k]);
+        return kind;
     }
 
   private:
     const Backend &_backend;
     const NoiseModel &_noise;
-    Statevector _state;
+    std::size_t _numQubits;
+
+    /**
+     * Both substrates, built lazily so a pure-Clifford ensemble
+     * never allocates the 2^n dense state (which is what lets
+     * 50-100+ qubit workloads through) and a dense ensemble never
+     * pays for a tableau.
+     */
+    std::unique_ptr<StateBackend> _dense;
+    std::unique_ptr<StateBackend> _tableau;
+    StateBackend *_state = nullptr; //!< this trajectory's substrate
+
     std::vector<int> _clbits;
     std::vector<double> _pendingT1;
     std::vector<int> _cpSign;
     std::vector<double> _detuning;
     std::vector<QubitAngle> _zBuffer;
 
+    StateBackend &
+    stateFor(SimBackendKind kind)
+    {
+        auto &slot = kind == SimBackendKind::Stabilizer ? _tableau
+                                                        : _dense;
+        if (!slot) {
+            if (kind == SimBackendKind::Dense && _numQubits > 24) {
+                casq_fatal(
+                    _numQubits,
+                    " qubits exceed the dense statevector limit "
+                    "(24); a Clifford workload can run at this "
+                    "size with --backend auto or stabilizer");
+            }
+            slot = makeStateBackend(kind, _numQubits);
+        }
+        return *slot;
+    }
+
     void
     sampleShotNoise(Rng &rng)
     {
-        for (std::uint32_t q = 0; q < _state.numQubits(); ++q) {
+        for (std::uint32_t q = 0; q < _numQubits; ++q) {
             const QubitProperties &props = _backend.qubit(q);
             _cpSign[q] = _noise.chargeParity ? rng.randomSign() : 1;
             _detuning[q] =
@@ -361,10 +511,10 @@ class TrajectoryRunner
             if (theta != 0.0)
                 _zBuffer.push_back(QubitAngle{sq.qubit, theta});
         }
-        _state.applyPhases(_zBuffer, plan.detZz);
+        _state->applyPhases(_zBuffer, plan.detZz);
 
         if (_noise.amplitudeDamping) {
-            for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
+            for (std::uint32_t q = 0; q < _numQubits; ++q)
                 _pendingT1[q] += seg.duration();
         }
     }
@@ -374,7 +524,7 @@ class TrajectoryRunner
     {
         if (!_noise.amplitudeDamping || _pendingT1[q] <= 0.0)
             return;
-        _state.amplitudeDamp(q, _pendingT1[q],
+        _state->amplitudeDamp(q, _pendingT1[q],
                              _backend.qubit(q).t1Ns, rng);
         _pendingT1[q] = 0.0;
     }
@@ -382,7 +532,7 @@ class TrajectoryRunner
     void
     flushAllT1(Rng &rng)
     {
-        for (std::uint32_t q = 0; q < _state.numQubits(); ++q)
+        for (std::uint32_t q = 0; q < _numQubits; ++q)
             flushT1(q, rng);
     }
 
@@ -416,14 +566,14 @@ class TrajectoryRunner
             return;
         if (inst.qubits.size() == 1) {
             const int k = 1 + int(rng.uniformInt(3));
-            _state.applyPauliOp(PauliOp(k), inst.qubits[0]);
+            _state->applyPauliOp(PauliOp(k), inst.qubits[0]);
         } else {
             const int k = 1 + int(rng.uniformInt(15));
             const int k0 = k & 3, k1 = (k >> 2) & 3;
             if (k0)
-                _state.applyPauliOp(PauliOp(k0), inst.qubits[0]);
+                _state->applyPauliOp(PauliOp(k0), inst.qubits[0]);
             if (k1)
-                _state.applyPauliOp(PauliOp(k1), inst.qubits[1]);
+                _state->applyPauliOp(PauliOp(k1), inst.qubits[1]);
         }
     }
 
@@ -439,7 +589,7 @@ class TrajectoryRunner
           case Op::Measure: {
             const std::uint32_t q = inst.qubits[0];
             flushT1(q, rng);
-            int outcome = _state.measure(q, rng);
+            int outcome = _state->measure(q, rng);
             if (_noise.readoutError &&
                 rng.bernoulli(_backend.qubit(q).readoutError)) {
                 outcome ^= 1;
@@ -450,8 +600,8 @@ class TrajectoryRunner
           case Op::Reset: {
             const std::uint32_t q = inst.qubits[0];
             flushT1(q, rng);
-            if (_state.measure(q, rng) == 1)
-                _state.applyGate1q(gateUnitary(Op::X), q);
+            if (_state->measure(q, rng) == 1)
+                _state->applyGate1q(gateUnitary(Op::X), q);
             return;
           }
           case Op::I:
@@ -463,17 +613,17 @@ class TrajectoryRunner
         // (they commute with the damping Kraus operators).
         if (opIsVirtual(inst.op)) {
             if (inst.op == Op::RZ)
-                _state.applyRz(inst.qubits[0], inst.params[0]);
+                _state->applyRz(inst.qubits[0], inst.params[0]);
             else
-                _state.applyGate1q(unitary, inst.qubits[0]);
+                _state->applyGate1q(unitary, inst.qubits[0]);
             return;
         }
         for (auto q : inst.qubits)
             flushT1(q, rng);
         if (inst.qubits.size() == 1)
-            _state.applyGate1q(unitary, inst.qubits[0]);
+            _state->applyGate1q(unitary, inst.qubits[0]);
         else
-            _state.applyGate2q(unitary, inst.qubits[0],
+            _state->applyGate2q(unitary, inst.qubits[0],
                                inst.qubits[1]);
         applyDepolarizing(inst, timed.duration, rng);
     }
@@ -643,6 +793,19 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
     const std::size_t K = observables.size();
     std::vector<double> slots(total * K);
 
+    // Resolve the routing up front: validates a forced stabilizer
+    // request on the calling thread and yields the deterministic
+    // per-kind trajectory counts (trajectory t's substrate is a
+    // pure function of (opts.backend, variant t mod V)).
+    int stab_traj = 0;
+    for (std::size_t t = 0; t < total; ++t) {
+        if (resolveTrajectoryBackend(
+                opts.backend, *compiled[t % compiled.size()]) ==
+            SimBackendKind::Stabilizer) {
+            ++stab_traj;
+        }
+    }
+
     const auto simulateRange = [&](int t0, int t1) {
         TrajectoryRunner runner(_backend, _noise,
                                 _backend.numQubits(), num_clbits);
@@ -650,7 +813,8 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
             Rng rng = master.derive(std::uint64_t(t));
             const auto &variant = *compiled[t % compiled.size()];
             runner.run(variant, rng, observables,
-                       slots.data() + std::size_t(t) * K);
+                       slots.data() + std::size_t(t) * K,
+                       opts.backend);
         }
     };
 
@@ -673,7 +837,9 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
         }
         workers.wait();
     }
-    return reduceTrajectorySlots(slots, total, K);
+    RunResult result = reduceTrajectorySlots(slots, total, K);
+    result.stabilizerTrajectories = stab_traj;
+    return result;
 }
 
 RunResult
@@ -710,6 +876,18 @@ SimulationEngine::runEnsemble(
                    ? (int(total) - k + V - 1) / V
                    : 0;
     };
+    // Which substrate each instance's trajectories ran on, recorded
+    // at compile time (disjoint slots, read only after the join
+    // below) so the result can report the routing.
+    std::vector<unsigned char> routed(std::size_t(V), 0);
+    const auto recordRouting = [&](int k,
+                                   const CompiledVariant &variant) {
+        routed[std::size_t(k)] =
+            resolveTrajectoryBackend(opts.backend, variant) ==
+                    SimBackendKind::Stabilizer
+                ? 1
+                : 0;
+    };
     const auto simulateVariant = [&](const CompiledVariant &variant,
                                      std::size_t num_clbits, int k,
                                      int i0, int i1) {
@@ -719,8 +897,15 @@ SimulationEngine::runEnsemble(
             const std::size_t t = std::size_t(k) + std::size_t(i) * V;
             Rng rng = master.derive(std::uint64_t(t));
             runner.run(variant, rng, observables,
-                       slots.data() + t * K);
+                       slots.data() + t * K, opts.backend);
         }
+    };
+    const auto reduce = [&] {
+        RunResult result = reduceTrajectorySlots(slots, total, K);
+        for (int k = 0; k < V; ++k)
+            if (routed[std::size_t(k)])
+                result.stabilizerTrajectories += trajectoriesOf(k);
+        return result;
     };
 
     const unsigned threads = ThreadPool::resolveThreads(
@@ -730,11 +915,12 @@ SimulationEngine::runEnsemble(
             CompilationResult instance = plan.compileInstance(k);
             const auto variant = compiledVariant(
                 instance.scheduled, opts.cacheVariants);
+            recordRouting(k, *variant);
             simulateVariant(*variant,
                             instance.scheduled.numClbits(), k, 0,
                             trajectoriesOf(k));
         }
-        return reduceTrajectorySlots(slots, total, K);
+        return reduce();
     }
 
     // One pool drives both stages: each compile task streams its
@@ -751,6 +937,7 @@ SimulationEngine::runEnsemble(
                 instance.scheduled.numClbits();
             const auto variant = compiledVariant(
                 instance.scheduled, opts.cacheVariants);
+            recordRouting(k, *variant);
             for (const auto &[i0, i1] :
                  splitRange(trajectoriesOf(k), subtasks)) {
                 workers.submit([&, variant, num_clbits, k, i0 = i0,
@@ -762,7 +949,7 @@ SimulationEngine::runEnsemble(
         });
     }
     workers.wait();
-    return reduceTrajectorySlots(slots, total, K);
+    return reduce();
 }
 
 ShardSlots
@@ -827,7 +1014,7 @@ SimulationEngine::runShard(
                 const std::size_t t = k0 + j * S;
                 Rng rng = master.derive(std::uint64_t(t));
                 runner.run(variant, rng, observables,
-                           out.slots.data() + j * K);
+                           out.slots.data() + j * K, opts.backend);
             }
         };
     const auto compileAndRecord =

@@ -43,6 +43,7 @@
 #include "device/backend.hh"
 #include "passes/pass_manager.hh"
 #include "pauli/pauli.hh"
+#include "sim/backend.hh"
 #include "sim/noise_model.hh"
 
 namespace casq {
@@ -64,6 +65,15 @@ struct ExecutionOptions
 
     /** Serve repeated schedules from the compiled-variant cache. */
     bool cacheVariants = true;
+
+    /**
+     * Simulation substrate (sim/backend.hh).  Dense keeps results
+     * bit-identical to historical runs; Auto routes each variant to
+     * the stabilizer tableau when its whole execution is Clifford
+     * and falls back to dense otherwise; Stabilizer forces the
+     * tableau and fails loudly on an ineligible variant.
+     */
+    SimBackendKind backend = SimBackendKind::Dense;
 };
 
 /** Averaged observable estimates with statistical errors. */
@@ -72,6 +82,9 @@ struct RunResult
     std::vector<double> means;
     std::vector<double> stderrs;
     int trajectories = 0;
+
+    /** Trajectories the backend routing sent to the tableau. */
+    int stabilizerTrajectories = 0;
 
     double mean(std::size_t k = 0) const { return means.at(k); }
 };
@@ -136,6 +149,9 @@ struct EnsembleRunOptions
 
     /** Serve repeated schedules from the compiled-variant cache. */
     bool cacheVariants = true;
+
+    /** Simulation substrate (ExecutionOptions::backend semantics). */
+    SimBackendKind backend = SimBackendKind::Dense;
 };
 
 namespace detail {

@@ -1,5 +1,9 @@
 #include "sim/noise_model.hh"
 
+#include <sstream>
+
+#include "device/backend.hh"
+
 namespace casq {
 
 NoiseModel
@@ -32,6 +36,44 @@ NoiseModel
 NoiseModel::standard()
 {
     return NoiseModel{};
+}
+
+NoiseModel
+NoiseModel::pauliOnly()
+{
+    NoiseModel m = ideal();
+    m.whiteDephasing = true;
+    m.gateDepolarizing = true;
+    m.readoutError = true;
+    return m;
+}
+
+std::string
+NoiseModel::cliffordBlocker(const Backend &backend) const
+{
+    const auto blocker = [](const char *what, std::uint32_t q) {
+        std::ostringstream os;
+        os << what << " on qubit " << q
+           << " draws non-Clifford Z angles";
+        return os.str();
+    };
+    for (std::uint32_t q = 0; q < backend.numQubits(); ++q) {
+        const QubitProperties &props = backend.qubit(q);
+        if (chargeParity && props.chargeParityMHz != 0.0)
+            return blocker("charge-parity dephasing", q);
+        if (quasiStatic && props.quasiStaticSigmaMHz != 0.0)
+            return blocker("quasi-static detuning", q);
+        if (amplitudeDamping && props.t1Ns > 0.0) {
+            std::ostringstream os;
+            os << "amplitude damping on qubit " << q
+               << " is not a Clifford channel";
+            return os.str();
+        }
+    }
+    // whiteDephasing samples exact Rz(pi) = Z flips, gate
+    // depolarizing samples Paulis, readout error flips classical
+    // bits: all Clifford-compatible.
+    return "";
 }
 
 } // namespace casq

@@ -9,7 +9,11 @@
 #ifndef CASQ_SIM_NOISE_MODEL_HH
 #define CASQ_SIM_NOISE_MODEL_HH
 
+#include <string>
+
 namespace casq {
+
+class Backend;
 
 /** Switches and scales for the simulated error mechanisms. */
 struct NoiseModel
@@ -58,6 +62,25 @@ struct NoiseModel
 
     /** All mechanisms on (the default). */
     static NoiseModel standard();
+
+    /**
+     * Only the Clifford-compatible mechanisms: T2 dephasing jumps
+     * (Rz(pi) = Z flips), gate depolarizing (sampled Paulis) and
+     * readout flips (classical).  Twirled circuits stay Clifford
+     * under this model, so the stabilizer backend simulates them
+     * exactly at 50-100+ qubits (docs/backends.md).
+     */
+    static NoiseModel pauliOnly();
+
+    /**
+     * Why the *sampled* mechanisms of this model break Clifford
+     * eligibility on the given device, or "" when they do not.
+     * Checks only the per-shot stochastic channels (charge parity,
+     * quasi-static detuning, amplitude damping) against the device
+     * rates; the deterministic coherent phases land in the compiled
+     * segment plans and are classified per variant by the engine.
+     */
+    std::string cliffordBlocker(const Backend &backend) const;
 };
 
 } // namespace casq

@@ -13,7 +13,9 @@ namespace {
 
 constexpr std::uint8_t kSpecMagic[4] = {'C', 'S', 'Q', 'S'};
 constexpr std::uint8_t kResultMagic[4] = {'C', 'S', 'Q', 'R'};
-constexpr std::uint32_t kFormatVersion = 1;
+// Version 2 appended the simulation-backend selector to the spec
+// (docs/sharding.md records the history).
+constexpr std::uint32_t kFormatVersion = 2;
 
 void
 writeMagic(ByteWriter &w, const std::uint8_t (&magic)[4])
@@ -284,6 +286,29 @@ backendRecipeName(BackendRecipe recipe)
     return "unknown";
 }
 
+NoiseRecipe
+noiseRecipeFromName(const std::string &name)
+{
+    if (name == "standard")
+        return NoiseRecipe::Standard;
+    if (name == "pauli")
+        return NoiseRecipe::Pauli;
+    if (name == "ideal")
+        return NoiseRecipe::Ideal;
+    throw SerializeError("unknown noise recipe '" + name + "'");
+}
+
+std::string
+noiseRecipeName(NoiseRecipe recipe)
+{
+    switch (recipe) {
+      case NoiseRecipe::Standard: return "standard";
+      case NoiseRecipe::Pauli: return "pauli";
+      case NoiseRecipe::Ideal: return "ideal";
+    }
+    return "unknown";
+}
+
 // -------------------------------------------------------- ShardSpec
 
 std::vector<std::uint8_t>
@@ -306,6 +331,8 @@ ShardSpec::encode() const
     w.boolean(prefixCache);
     w.i32(trajectories);
     w.u64(seed);
+    w.u8(std::uint8_t(simBackend));
+    w.u8(std::uint8_t(noise));
     return w.take();
 }
 
@@ -354,6 +381,16 @@ decodeSpecBody(ByteReader &r)
         throw SerializeError(
             "shard spec trajectories must be >= 1");
     spec.seed = r.u64();
+    const std::uint8_t sim = r.u8();
+    if (sim > std::uint8_t(SimBackendKind::Stabilizer))
+        throw SerializeError("corrupt simulation backend " +
+                             std::to_string(int(sim)));
+    spec.simBackend = SimBackendKind(sim);
+    const std::uint8_t noise = r.u8();
+    if (noise > std::uint8_t(NoiseRecipe::Ideal))
+        throw SerializeError("corrupt noise recipe " +
+                             std::to_string(int(noise)));
+    spec.noise = NoiseRecipe(noise);
     r.requireEnd();
     return spec;
 }
@@ -406,6 +443,20 @@ ShardSpec::makeBackend() const
     throw SerializeError("corrupt backend recipe");
 }
 
+NoiseModel
+ShardSpec::makeNoise() const
+{
+    switch (noise) {
+      case NoiseRecipe::Standard:
+        return NoiseModel::standard();
+      case NoiseRecipe::Pauli:
+        return NoiseModel::pauliOnly();
+      case NoiseRecipe::Ideal:
+        return NoiseModel::ideal();
+    }
+    throw SerializeError("corrupt noise recipe");
+}
+
 PassManager
 ShardSpec::makePipeline() const
 {
@@ -431,6 +482,7 @@ ShardSpec::runOptions(int threads) const
     opts.trajectories = trajectories;
     opts.seed = seed;
     opts.threads = threads;
+    opts.backend = simBackend;
     return opts;
 }
 
@@ -560,7 +612,7 @@ executeShard(const ShardSpec &spec, int threads)
     }
 
     PassManager pipeline = spec.makePipeline();
-    SimulationEngine engine(backend, NoiseModel::standard());
+    SimulationEngine engine(backend, spec.makeNoise());
     ShardSlots slots = engine.runShard(
         spec.logical, pipeline, spec.observables,
         spec.runOptions(threads), spec.shardIndex, spec.shardCount);

@@ -72,6 +72,20 @@ BackendRecipe backendRecipeFromName(const std::string &name);
 /** Inverse of backendRecipeFromName(). */
 std::string backendRecipeName(BackendRecipe recipe);
 
+/** Noise models a spec can instruct a remote host to rebuild. */
+enum class NoiseRecipe : std::uint8_t
+{
+    Standard = 0, //!< NoiseModel::standard()
+    Pauli = 1,    //!< NoiseModel::pauliOnly() (Clifford-compatible)
+    Ideal = 2,    //!< NoiseModel::ideal()
+};
+
+/** Parse a noise label ("standard", "pauli", "ideal"). */
+NoiseRecipe noiseRecipeFromName(const std::string &name);
+
+/** Inverse of noiseRecipeFromName(). */
+std::string noiseRecipeName(NoiseRecipe recipe);
+
 /**
  * Everything a remote process needs to execute one shard of an
  * ensemble run.  encode()/decode() round-trip the spec through the
@@ -100,12 +114,28 @@ struct ShardSpec
     std::uint32_t backendQubits = 8;
     std::uint64_t backendSeed = 0x11;
 
+    /**
+     * Noise model the executing host rebuilds (Pauli keeps twirled
+     * circuits Clifford, which is what lets simBackend engage the
+     * stabilizer tableau on a shard).
+     */
+    NoiseRecipe noise = NoiseRecipe::Standard;
+
     // --------------------------- ensemble/trajectory options
     std::int32_t instances = 8;
     std::uint64_t compileSeed = 0;
     bool prefixCache = true;
     std::int32_t trajectories = 200;
     std::uint64_t seed = 1234;
+
+    /**
+     * Simulation substrate (ExecutionOptions::backend semantics).
+     * Auto routes Clifford variants to the stabilizer tableau on
+     * every shard identically -- eligibility is a pure function of
+     * the compiled variant, so routing never depends on the shard
+     * decomposition and merged results stay bit-identical.
+     */
+    SimBackendKind simBackend = SimBackendKind::Dense;
 
     /** Canonical versioned payload. */
     std::vector<std::uint8_t> encode() const;
@@ -125,6 +155,9 @@ struct ShardSpec
 
     /** Rebuild the device this spec's job targets. */
     Backend makeBackend() const;
+
+    /** Rebuild the noise model this spec's job simulates under. */
+    NoiseModel makeNoise() const;
 
     /**
      * Rebuild the compilation pipeline (buildPipeline over the

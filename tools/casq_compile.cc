@@ -53,6 +53,16 @@ struct CliOptions
     unsigned threads = 1; //!< ensemble workers (0 = one per core)
     bool simulate = false; //!< fused compile->simulate run
     int trajectories = 400; //!< Monte-Carlo budget for --simulate
+
+    /**
+     * Simulation substrate for --simulate.  Auto is safe as the
+     * default: the standard noise model is non-Clifford, so paper
+     * workloads resolve to the dense path bit-identically, while
+     * Clifford workloads (--noise pauli/ideal) pick up the
+     * stabilizer tableau and scale past the 24-qubit dense limit.
+     */
+    SimBackendKind simBackend = SimBackendKind::Auto;
+    std::string noise = "standard"; //!< standard|pauli|ideal
     bool twirl = true;
     bool lateTwirl = true; //!< false = historical twirl-first order
     bool lowerToNative = false;
@@ -79,6 +89,13 @@ usage(const char *prog)
         << "                    report <Z_q> with throughput\n"
         << "  --traj N          trajectories for --simulate\n"
         << "                    (default 400)\n"
+        << "  --backend B       simulation substrate for --simulate:\n"
+        << "                    auto|dense|stabilizer (default auto;\n"
+        << "                    see docs/backends.md)\n"
+        << "  --noise M         noise model for --simulate:\n"
+        << "                    standard|pauli|ideal (default\n"
+        << "                    standard; pauli keeps twirled\n"
+        << "                    circuits Clifford)\n"
         << "  --no-twirl        disable Pauli twirling\n"
         << "  --twirl-first     twirl before lowering (historical\n"
         << "                    ordering; schedules are identical,\n"
@@ -157,6 +174,24 @@ main(int argc, char **argv)
             cli.ensemble = int(bench::checkedInt(
                 "--ensemble", v, 0,
                 std::numeric_limits<int>::max()));
+        } else if (const char *v = value("--backend")) {
+            const auto parsed = simBackendKindFromName(v);
+            if (!parsed) {
+                std::cerr << "unknown backend '" << v
+                          << "'; expected auto, dense or "
+                             "stabilizer\n";
+                return 1;
+            }
+            cli.simBackend = *parsed;
+        } else if (const char *v = value("--noise")) {
+            cli.noise = v;
+            if (cli.noise != "standard" && cli.noise != "pauli" &&
+                cli.noise != "ideal") {
+                std::cerr << "unknown noise model '" << v
+                          << "'; expected standard, pauli or "
+                             "ideal\n";
+                return 1;
+            }
         } else if (const char *v = value("--traj")) {
             cli.trajectories = int(bench::checkedInt(
                 "--traj", v, 1,
@@ -199,7 +234,10 @@ main(int argc, char **argv)
         if (cli.dump)
             std::cout << "(--dump ignored with --simulate: the "
                          "fused path materializes no schedule)\n";
-        const NoiseModel noise = NoiseModel::standard();
+        const NoiseModel noise =
+            cli.noise == "pauli"   ? NoiseModel::pauliOnly()
+            : cli.noise == "ideal" ? NoiseModel::ideal()
+                                   : NoiseModel::standard();
         SimulationEngine engine(backend, noise);
         std::vector<PauliString> obs;
         for (std::uint32_t q = 0; q < cli.qubits; ++q)
@@ -211,6 +249,7 @@ main(int argc, char **argv)
         run.trajectories = cli.trajectories;
         run.seed = cli.seed;
         run.threads = int(cli.threads);
+        run.backend = cli.simBackend;
         // A deterministic pipeline compiles a single instance no
         // matter what --ensemble asked for.
         const int instances =
@@ -232,7 +271,15 @@ main(int argc, char **argv)
                   << "wall time: " << wall_ms << " ms ("
                   << std::setprecision(1)
                   << 1e3 * double(result.trajectories) / wall_ms
-                  << " trajectories/s)\n";
+                  << " trajectories/s)\n"
+                  << "backend: "
+                  << simBackendKindName(cli.simBackend) << " ("
+                  << result.stabilizerTrajectories << " of "
+                  << result.trajectories
+                  << " trajectories on the stabilizer tableau, "
+                  << (result.trajectories -
+                      result.stabilizerTrajectories)
+                  << " dense)\n";
         // Hexfloat estimates are bit-exact, so runs that must agree
         // (late-twirl vs twirl-first, any thread count) diff clean;
         // CI gates the orderings exactly that way.

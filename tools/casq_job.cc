@@ -61,7 +61,9 @@ usage(std::ostream &os, int code)
           "  --qubits N --depth D --strategy NAME\n"
           "  --backend NAME --backend-seed X\n"
           "  --instances M --traj T --seed S --compile-seed C\n"
-          "  --shards S --no-twirl --native --no-prefix-cache\n";
+          "  --shards S --no-twirl --native --no-prefix-cache\n"
+          "  --sim-backend auto|dense|stabilizer\n"
+          "  --noise standard|pauli|ideal\n";
     return code;
 }
 
@@ -184,6 +186,17 @@ cmdSubmit(const std::string &socket_path, int argc, char **argv)
                        value(argc, argv, i, "--compile-seed")) {
             spec.compileSeed =
                 bench::checkedUInt64("--compile-seed", v);
+        } else if (const char *v =
+                       value(argc, argv, i, "--sim-backend")) {
+            const auto kind = simBackendKindFromName(v);
+            if (!kind) {
+                std::cerr << "submit: unknown simulation backend '"
+                          << v << "'\n";
+                return 1;
+            }
+            spec.simBackend = *kind;
+        } else if (const char *v = value(argc, argv, i, "--noise")) {
+            spec.noise = noiseRecipeFromName(v);
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             spec.twirl = false;
         } else if (std::strcmp(argv[i], "--native") == 0) {

@@ -67,6 +67,10 @@ usage(std::ostream &os, int code)
           "  --compile-seed C  compilation master seed\n"
           "  --no-twirl        disable Pauli twirling\n"
           "  --native          lower to the native gate set\n"
+          "  --sim-backend B   auto|dense|stabilizer simulation\n"
+          "                    substrate (default dense)\n"
+          "  --noise M         standard|pauli|ideal noise model\n"
+          "                    (default standard)\n"
           "  --no-prefix-cache recompile the pass prefix per "
           "instance\n";
     return code;
@@ -137,6 +141,17 @@ cmdPlan(int argc, char **argv)
                        value(argc, argv, i, "--compile-seed")) {
             spec.compileSeed =
                 bench::checkedUInt64("--compile-seed", v);
+        } else if (const char *v =
+                       value(argc, argv, i, "--sim-backend")) {
+            const auto kind = simBackendKindFromName(v);
+            if (!kind) {
+                std::cerr << "plan: unknown simulation backend '"
+                          << v << "'\n";
+                return 1;
+            }
+            spec.simBackend = *kind;
+        } else if (const char *v = value(argc, argv, i, "--noise")) {
+            spec.noise = noiseRecipeFromName(v);
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             spec.twirl = false;
         } else if (std::strcmp(argv[i], "--native") == 0) {
@@ -304,7 +319,11 @@ cmdDescribe(int argc, char **argv)
                   << (spec.prefixCache ? "" : " no-prefix-cache")
                   << "\n"
                   << "  trajectories " << spec.trajectories
-                  << " seed " << spec.seed << "\n";
+                  << " seed " << spec.seed << "\n"
+                  << "  sim-backend "
+                  << simBackendKindName(spec.simBackend)
+                  << " noise " << noiseRecipeName(spec.noise)
+                  << "\n";
         return 0;
     }
     const ShardResult result =
