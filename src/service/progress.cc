@@ -118,12 +118,14 @@ void
 ProgressReporter::shardFinished(const std::string &id,
                                 std::uint32_t shard, int worker,
                                 double wallMillis,
-                                std::uint64_t trajectories)
+                                std::uint64_t trajectories,
+                                std::uint64_t prefixStateHits)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     Entry *entry = find(id);
     _totals.shardsExecuted += 1;
     _totals.trajectoriesDone += trajectories;
+    _totals.prefixStateHits += prefixStateHits;
     if (!entry || shard >= entry->progress.shards.size())
         return;
     ShardProgress &sp = entry->progress.shards[shard];
@@ -134,6 +136,7 @@ ProgressReporter::shardFinished(const std::string &id,
     sp.wallMillis = wallMillis;
     entry->progress.shardsDone += 1;
     entry->progress.trajectoriesDone += trajectories;
+    entry->progress.prefixStateHits += prefixStateHits;
     _changed.notify_all();
 }
 

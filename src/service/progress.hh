@@ -59,6 +59,9 @@ struct JobProgress
     /** Trajectories owned by finished shards. */
     std::uint64_t trajectoriesDone = 0;
 
+    /** Trajectories that forked from a prefix-state checkpoint. */
+    std::uint64_t prefixStateHits = 0;
+
     /** Milliseconds since submission. */
     double sinceSubmitMillis = 0.0;
 
@@ -81,6 +84,10 @@ struct ServiceTotals
     std::uint64_t shardRetries = 0;   //!< re-queued after a failure
     std::uint64_t shardsStolen = 0;   //!< speculative re-executions
     std::uint64_t trajectoriesDone = 0;
+
+    /** Trajectories that forked from a prefix-state checkpoint. */
+    std::uint64_t prefixStateHits = 0;
+
     double upMillis = 0.0;
     double trajectoriesPerSecond = 0.0; //!< over the whole uptime
 };
@@ -110,10 +117,15 @@ class ProgressReporter
     void shardStarted(const std::string &id, std::uint32_t shard,
                       int worker, std::uint32_t attempt);
 
-    /** Shard finished; `trajectories` = how many the shard owned. */
+    /**
+     * Shard finished; `trajectories` = how many the shard owned,
+     * `prefixStateHits` = how many of them forked from a
+     * prefix-state checkpoint (ShardResult::prefixStateHits).
+     */
     void shardFinished(const std::string &id, std::uint32_t shard,
                        int worker, double wallMillis,
-                       std::uint64_t trajectories);
+                       std::uint64_t trajectories,
+                       std::uint64_t prefixStateHits = 0);
 
     /** One execution of the shard failed (worker death, error). */
     void shardFailed(const std::string &id, std::uint32_t shard);

@@ -72,6 +72,7 @@ writeJobProgress(ByteWriter &w, const JobProgress &job)
     w.i32(job.trajectories);
     w.u32(job.observables);
     w.u64(job.trajectoriesDone);
+    w.u64(job.prefixStateHits);
     w.f64(job.sinceSubmitMillis);
     w.f64(job.activeMillis);
     w.f64(job.trajectoriesPerSecond);
@@ -111,6 +112,7 @@ readJobProgress(ByteReader &r)
     job.trajectories = r.i32();
     job.observables = r.u32();
     job.trajectoriesDone = r.u64();
+    job.prefixStateHits = r.u64();
     job.sinceSubmitMillis = r.f64();
     job.activeMillis = r.f64();
     job.trajectoriesPerSecond = r.f64();
@@ -129,6 +131,7 @@ writeTotals(ByteWriter &w, const ServiceTotals &totals)
     w.u64(totals.shardRetries);
     w.u64(totals.shardsStolen);
     w.u64(totals.trajectoriesDone);
+    w.u64(totals.prefixStateHits);
     w.f64(totals.upMillis);
     w.f64(totals.trajectoriesPerSecond);
 }
@@ -146,6 +149,7 @@ readTotals(ByteReader &r)
     totals.shardRetries = r.u64();
     totals.shardsStolen = r.u64();
     totals.trajectoriesDone = r.u64();
+    totals.prefixStateHits = r.u64();
     totals.upMillis = r.f64();
     totals.trajectoriesPerSecond = r.f64();
     return totals;

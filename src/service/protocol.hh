@@ -37,7 +37,14 @@ namespace casq {
 
 /** 'CSQP' little-endian. */
 constexpr std::uint32_t kProtocolMagic = 0x50515343u;
-constexpr std::uint8_t kProtocolVersion = 1;
+
+/**
+ * Protocol version history:
+ *   1 -- initial protocol.
+ *   2 -- JobProgress and ServiceTotals carry prefixStateHits
+ *        (trajectories forked from a prefix-state checkpoint).
+ */
+constexpr std::uint8_t kProtocolVersion = 2;
 
 enum class MessageType : std::uint8_t
 {

@@ -297,7 +297,8 @@ Scheduler::onOutcome(JobRecord &job, std::uint32_t shard,
         job.completedWallMillis.push_back(wallMillis);
         _progress.shardFinished(job.spec.id, shard, int(self),
                                 wallMillis,
-                                ownedTrajectories(job, shard));
+                                ownedTrajectories(job, shard),
+                                task.result.prefixStateHits);
         if (job.shardsDone == job.shards.size())
             mergeJob(job, lock);
         return;

@@ -31,6 +31,15 @@ simBackendKindFromName(const std::string &name)
     return std::nullopt;
 }
 
+void
+DenseBackend::assign(const StateBackend &src)
+{
+    casq_assert(src.kind() == SimBackendKind::Dense &&
+                    src.numQubits() == _state.numQubits(),
+                "assign needs a dense backend of the same width");
+    _state.copyFrom(static_cast<const DenseBackend &>(src).state());
+}
+
 int
 StateBackend::measure(std::uint32_t q, Rng &rng)
 {

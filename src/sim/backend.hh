@@ -72,6 +72,14 @@ class StateBackend
     /** Reset to |0...0>. */
     virtual void reset() = 0;
 
+    /**
+     * Copy the quantum state of `src`, which must be the same kind
+     * and width (no reallocation on the dense path).  This is the
+     * trajectory fork primitive behind the prefix-state checkpoint
+     * (docs/simulator.md, "Trajectory prefix checkpoint").
+     */
+    virtual void assign(const StateBackend &src) = 0;
+
     /** Apply a 2x2 unitary to qubit q. */
     virtual void applyGate1q(const CMat &u, std::uint32_t q) = 0;
 
@@ -137,6 +145,8 @@ class DenseBackend final : public StateBackend
     {
         _state.reset();
     }
+
+    void assign(const StateBackend &src) override;
 
     void
     applyGate1q(const CMat &u, std::uint32_t q) override

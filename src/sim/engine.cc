@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "circuit/unitary.hh"
@@ -64,12 +65,45 @@ struct CompiledVariant
     bool stabilizerEligible = true;
     std::string stabilizerBlocker;
 
+    /**
+     * Leading timeline events that consume no RNG and read no
+     * per-shot state, so every trajectory evolves through them
+     * identically.  Trajectories may fork from a checkpoint evolved
+     * through these events once (docs/simulator.md, "Trajectory
+     * prefix checkpoint"); 0 means replay from |0...0>.
+     */
+    std::size_t prefixEvents = 0;
+
+    /**
+     * Deterministic amplitude-damping idle time every qubit accrues
+     * across the prefix (the fork seeds the runner's pending-T1
+     * clock with it; always 0 unless noise.amplitudeDamping).
+     */
+    double prefixPendingT1 = 0.0;
+
     CompiledVariant(const ScheduledCircuit &circuit,
                     const Backend &backend, const NoiseModel &noise);
 
+    /**
+     * The prefix state for `kind` (Dense or Stabilizer), built
+     * lazily on first use so e.g. a >24-qubit Clifford ensemble
+     * never allocates a dense 2^n checkpoint.  Thread-safe; valid
+     * only when prefixEvents > 0.
+     */
+    const StateBackend *prefixCheckpoint(SimBackendKind kind) const;
+
   private:
+    mutable std::once_flag _prefixDenseOnce;
+    mutable std::unique_ptr<StateBackend> _prefixDense;
+    mutable std::once_flag _prefixStabOnce;
+    mutable std::unique_ptr<StateBackend> _prefixStab;
+
     void analyzeStabilizerEligibility(const Backend &backend,
                                       const NoiseModel &noise);
+    void analyzePrefixEligibility(const NoiseModel &noise);
+    void buildPrefixCheckpoint(
+        SimBackendKind kind,
+        std::unique_ptr<StateBackend> &slot) const;
 };
 
 CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
@@ -188,6 +222,116 @@ CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
     }
 
     analyzeStabilizerEligibility(backend, noise);
+    analyzePrefixEligibility(noise);
+}
+
+void
+CompiledVariant::analyzePrefixEligibility(const NoiseModel &noise)
+{
+    // Walk the timeline until the first event that consumes RNG or
+    // reads per-shot state; everything before it is the shared
+    // deterministic prefix.  The rules mirror TrajectoryRunner
+    // event by event:
+    //  - a segment is eligible when it has no stochastic hooks, or
+    //    when its duration is zero (every stochastic contribution
+    //    is then exactly 0.0 and bernoulli(0) draws nothing);
+    //  - conditional instructions, Measure and Reset stop the walk
+    //    (clbit reads / measurement draws);
+    //  - Op::I and virtual diagonal gates are free (no T1 flush, no
+    //    depolarizing);
+    //  - a physical gate stops the walk when amplitude damping is
+    //    on (its T1 flush would draw, and would desync the
+    //    per-qubit pending-T1 clocks) or when gate depolarizing is
+    //    on (bernoulli draw), and is eligible otherwise.
+    double pending = 0.0;
+    std::size_t count = 0;
+    const auto &segments = timeline.segments();
+    const auto &insts = timeline.circuit().instructions();
+    for (const auto &event : timeline.events()) {
+        if (event.kind == TimelineEvent::Kind::Segment) {
+            const SegmentPlan &plan = plans[event.index];
+            const double tau = segments[event.index].duration();
+            if (!plan.stoch.empty() && tau > 0.0)
+                break;
+            if (noise.amplitudeDamping)
+                pending += tau;
+            ++count;
+            continue;
+        }
+        const Instruction &inst = insts[event.index].inst;
+        if (inst.isConditional())
+            break;
+        if (inst.op == Op::Measure || inst.op == Op::Reset)
+            break;
+        if (inst.op == Op::I || opIsVirtual(inst.op)) {
+            ++count;
+            continue;
+        }
+        if (noise.amplitudeDamping || noise.gateDepolarizing)
+            break;
+        ++count;
+    }
+    prefixEvents = count;
+    prefixPendingT1 = pending;
+}
+
+void
+CompiledVariant::buildPrefixCheckpoint(
+    SimBackendKind kind, std::unique_ptr<StateBackend> &slot) const
+{
+    auto state =
+        makeStateBackend(kind, timeline.circuit().numQubits());
+    const auto &insts = timeline.circuit().instructions();
+    const auto &events = timeline.events();
+    // Replay the prefix with the exact kernel calls the runner
+    // makes (an eligible segment's phase buffer is exactly its
+    // deterministic plan), so a forked trajectory is bit-identical
+    // to a replayed one.
+    for (std::size_t e = 0; e < prefixEvents; ++e) {
+        const TimelineEvent &event = events[e];
+        if (event.kind == TimelineEvent::Kind::Segment) {
+            const SegmentPlan &plan = plans[event.index];
+            state->applyPhases(plan.detZ, plan.detZz);
+            continue;
+        }
+        const Instruction &inst = insts[event.index].inst;
+        if (inst.op == Op::I)
+            continue;
+        if (opIsVirtual(inst.op)) {
+            if (inst.op == Op::RZ)
+                state->applyRz(inst.qubits[0], inst.params[0]);
+            else
+                state->applyGate1q(unitaries[event.index],
+                                   inst.qubits[0]);
+            continue;
+        }
+        if (inst.qubits.size() == 1)
+            state->applyGate1q(unitaries[event.index],
+                               inst.qubits[0]);
+        else
+            state->applyGate2q(unitaries[event.index],
+                               inst.qubits[0], inst.qubits[1]);
+    }
+    slot = std::move(state);
+}
+
+const StateBackend *
+CompiledVariant::prefixCheckpoint(SimBackendKind kind) const
+{
+    casq_assert(kind != SimBackendKind::Auto,
+                "prefix checkpoint needs a concrete backend kind");
+    if (kind == SimBackendKind::Dense) {
+        std::call_once(_prefixDenseOnce, [this] {
+            buildPrefixCheckpoint(SimBackendKind::Dense,
+                                  _prefixDense);
+        });
+        return _prefixDense.get();
+    }
+    std::call_once(_prefixStabOnce, [this] {
+        buildPrefixCheckpoint(SimBackendKind::Stabilizer,
+                              _prefixStab);
+    });
+    return _prefixStab.get();
 }
 
 void
@@ -390,20 +534,37 @@ class TrajectoryRunner
     SimBackendKind
     run(const CompiledVariant &variant, Rng &rng,
         const std::vector<PauliString> &observables, double *out,
-        SimBackendKind requested)
+        SimBackendKind requested, PrefixStateMode prefix_mode)
     {
         const SimBackendKind kind =
             resolveTrajectoryBackend(requested, variant);
         _state = &stateFor(kind);
-        _state->reset();
+
+        // Fork from the variant's prefix checkpoint when allowed:
+        // the prefix consumes no RNG, so skipping it leaves the
+        // trajectory's random stream untouched, and the checkpoint
+        // was produced by the identical FP op sequence, so the
+        // result is bit-identical to a full replay.
+        std::size_t first_event = 0;
+        if (prefix_mode == PrefixStateMode::Auto &&
+            variant.prefixEvents > 0) {
+            _state->assign(*variant.prefixCheckpoint(kind));
+            std::fill(_pendingT1.begin(), _pendingT1.end(),
+                      variant.prefixPendingT1);
+            first_event = variant.prefixEvents;
+        } else {
+            _state->reset();
+            std::fill(_pendingT1.begin(), _pendingT1.end(), 0.0);
+        }
         std::fill(_clbits.begin(), _clbits.end(), 0);
-        std::fill(_pendingT1.begin(), _pendingT1.end(), 0.0);
         sampleShotNoise(rng);
 
         const auto &segments = variant.timeline.segments();
         const auto &insts =
             variant.timeline.circuit().instructions();
-        for (const auto &event : variant.timeline.events()) {
+        const auto &events = variant.timeline.events();
+        for (std::size_t e = first_event; e < events.size(); ++e) {
+            const TimelineEvent &event = events[e];
             if (event.kind == TimelineEvent::Kind::Segment) {
                 applySegment(variant.plans[event.index],
                              segments[event.index], rng);
@@ -669,6 +830,28 @@ splitRange(int total, int blocks)
 
 // ---------------------------------------------------------- engine
 
+const char *
+prefixStateModeName(PrefixStateMode mode)
+{
+    switch (mode) {
+      case PrefixStateMode::Auto:
+        return "auto";
+      case PrefixStateMode::Off:
+        return "off";
+    }
+    return "?";
+}
+
+std::optional<PrefixStateMode>
+prefixStateModeFromName(const std::string &name)
+{
+    if (name == "auto")
+        return PrefixStateMode::Auto;
+    if (name == "off")
+        return PrefixStateMode::Off;
+    return std::nullopt;
+}
+
 SimulationEngine::SimulationEngine(const Backend &backend,
                                    const NoiseModel &noise)
     : _backend(backend), _noise(noise)
@@ -798,11 +981,16 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
     // per-kind trajectory counts (trajectory t's substrate is a
     // pure function of (opts.backend, variant t mod V)).
     int stab_traj = 0;
+    std::uint64_t prefix_hits = 0;
     for (std::size_t t = 0; t < total; ++t) {
-        if (resolveTrajectoryBackend(
-                opts.backend, *compiled[t % compiled.size()]) ==
+        const auto &variant = *compiled[t % compiled.size()];
+        if (resolveTrajectoryBackend(opts.backend, variant) ==
             SimBackendKind::Stabilizer) {
             ++stab_traj;
+        }
+        if (opts.prefixState == PrefixStateMode::Auto &&
+            variant.prefixEvents > 0) {
+            ++prefix_hits;
         }
     }
 
@@ -814,7 +1002,7 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
             const auto &variant = *compiled[t % compiled.size()];
             runner.run(variant, rng, observables,
                        slots.data() + std::size_t(t) * K,
-                       opts.backend);
+                       opts.backend, opts.prefixState);
         }
     };
 
@@ -839,6 +1027,7 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
     }
     RunResult result = reduceTrajectorySlots(slots, total, K);
     result.stabilizerTrajectories = stab_traj;
+    result.prefixStateHits = prefix_hits;
     return result;
 }
 
@@ -880,11 +1069,17 @@ SimulationEngine::runEnsemble(
     // at compile time (disjoint slots, read only after the join
     // below) so the result can report the routing.
     std::vector<unsigned char> routed(std::size_t(V), 0);
+    std::vector<unsigned char> prefixed(std::size_t(V), 0);
     const auto recordRouting = [&](int k,
                                    const CompiledVariant &variant) {
         routed[std::size_t(k)] =
             resolveTrajectoryBackend(opts.backend, variant) ==
                     SimBackendKind::Stabilizer
+                ? 1
+                : 0;
+        prefixed[std::size_t(k)] =
+            opts.prefixState == PrefixStateMode::Auto &&
+                    variant.prefixEvents > 0
                 ? 1
                 : 0;
     };
@@ -897,14 +1092,19 @@ SimulationEngine::runEnsemble(
             const std::size_t t = std::size_t(k) + std::size_t(i) * V;
             Rng rng = master.derive(std::uint64_t(t));
             runner.run(variant, rng, observables,
-                       slots.data() + t * K, opts.backend);
+                       slots.data() + t * K, opts.backend,
+                       opts.prefixState);
         }
     };
     const auto reduce = [&] {
         RunResult result = reduceTrajectorySlots(slots, total, K);
-        for (int k = 0; k < V; ++k)
+        for (int k = 0; k < V; ++k) {
             if (routed[std::size_t(k)])
                 result.stabilizerTrajectories += trajectoriesOf(k);
+            if (prefixed[std::size_t(k)])
+                result.prefixStateHits +=
+                    std::uint64_t(trajectoriesOf(k));
+        }
         return result;
     };
 
@@ -1014,9 +1214,13 @@ SimulationEngine::runShard(
                 const std::size_t t = k0 + j * S;
                 Rng rng = master.derive(std::uint64_t(t));
                 runner.run(variant, rng, observables,
-                           out.slots.data() + j * K, opts.backend);
+                           out.slots.data() + j * K, opts.backend,
+                           opts.prefixState);
             }
         };
+    // Per-instance prefix-fork flags (disjoint slots written by the
+    // compile tasks, summed into the hit counter after the join).
+    std::vector<unsigned char> prefixed(out.instances.size(), 0);
     const auto compileAndRecord =
         [&](std::size_t n) -> std::pair<
             std::shared_ptr<const CompiledVariant>, std::size_t> {
@@ -1027,7 +1231,17 @@ SimulationEngine::runShard(
         const auto variant = compiledVariant(instance.scheduled,
                                              opts.cacheVariants);
         out.fingerprints[n] = variant->fingerprint;
+        prefixed[n] = opts.prefixState == PrefixStateMode::Auto &&
+                              variant->prefixEvents > 0
+                          ? 1
+                          : 0;
         return {variant, num_clbits};
+    };
+    const auto sumPrefixHits = [&] {
+        for (std::size_t n = 0; n < out.instances.size(); ++n)
+            if (prefixed[n])
+                out.prefixStateHits += std::uint64_t(
+                    ordinals_of[out.instances[n]].size());
     };
 
     const unsigned threads = ThreadPool::resolveThreads(
@@ -1039,6 +1253,7 @@ SimulationEngine::runShard(
             simulateOrdinals(*variant, num_clbits, ordinals, 0,
                              ordinals.size());
         }
+        sumPrefixHits();
         return out;
     }
 
@@ -1069,6 +1284,7 @@ SimulationEngine::runShard(
         });
     }
     workers.wait();
+    sumPrefixHits();
     return out;
 }
 

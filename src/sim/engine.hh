@@ -37,6 +37,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +51,27 @@
 namespace casq {
 
 class ThreadPool;
+
+/**
+ * Trajectory prefix-checkpoint policy: whether trajectories of a
+ * variant may fork from the cached deterministic-prefix state
+ * instead of replaying it from |0...0>.  Auto is bit-identical to
+ * Off by construction (the checkpoint is produced by the exact FP op
+ * sequence the replay would run); Off exists for A/B verification
+ * and as a hard fallback.
+ */
+enum class PrefixStateMode : std::uint8_t
+{
+    Auto = 0, //!< fork from the cached prefix state when eligible
+    Off = 1,  //!< replay the full timeline every trajectory
+};
+
+/** Lower-case name of a prefix-state mode ("auto" / "off"). */
+const char *prefixStateModeName(PrefixStateMode mode);
+
+/** Parse a prefix-state mode name; nullopt when unrecognized. */
+std::optional<PrefixStateMode>
+prefixStateModeFromName(const std::string &name);
 
 /** Trajectory-count, seeding and threading options. */
 struct ExecutionOptions
@@ -74,6 +97,9 @@ struct ExecutionOptions
      * tableau and fails loudly on an ineligible variant.
      */
     SimBackendKind backend = SimBackendKind::Dense;
+
+    /** Trajectory prefix-checkpoint reuse (bit-identical either way). */
+    PrefixStateMode prefixState = PrefixStateMode::Auto;
 };
 
 /** Averaged observable estimates with statistical errors. */
@@ -85,6 +111,9 @@ struct RunResult
 
     /** Trajectories the backend routing sent to the tableau. */
     int stabilizerTrajectories = 0;
+
+    /** Trajectories that forked from a prefix-state checkpoint. */
+    std::uint64_t prefixStateHits = 0;
 
     double mean(std::size_t k = 0) const { return means.at(k); }
 };
@@ -120,6 +149,9 @@ struct ShardSlots
 
     /** Schedule fingerprint of each compiled instance. */
     std::vector<std::uint64_t> fingerprints;
+
+    /** Owned trajectories that forked from a prefix checkpoint. */
+    std::uint64_t prefixStateHits = 0;
 };
 
 /** Configuration of a fused compile->simulate ensemble run. */
@@ -152,6 +184,9 @@ struct EnsembleRunOptions
 
     /** Simulation substrate (ExecutionOptions::backend semantics). */
     SimBackendKind backend = SimBackendKind::Dense;
+
+    /** Trajectory prefix-checkpoint reuse (bit-identical either way). */
+    PrefixStateMode prefixState = PrefixStateMode::Auto;
 };
 
 namespace detail {

@@ -13,9 +13,11 @@ namespace {
 
 constexpr std::uint8_t kSpecMagic[4] = {'C', 'S', 'Q', 'S'};
 constexpr std::uint8_t kResultMagic[4] = {'C', 'S', 'Q', 'R'};
-// Version 2 appended the simulation-backend selector to the spec
-// (docs/sharding.md records the history).
-constexpr std::uint32_t kFormatVersion = 2;
+// Version 2 appended the simulation-backend selector to the spec;
+// version 3 appended the prefix-state mode to the spec and the
+// prefix-state hit counter to the result (docs/sharding.md records
+// the history).
+constexpr std::uint32_t kFormatVersion = 3;
 
 void
 writeMagic(ByteWriter &w, const std::uint8_t (&magic)[4])
@@ -333,6 +335,7 @@ ShardSpec::encode() const
     w.u64(seed);
     w.u8(std::uint8_t(simBackend));
     w.u8(std::uint8_t(noise));
+    w.u8(std::uint8_t(prefixState));
     return w.take();
 }
 
@@ -391,6 +394,11 @@ decodeSpecBody(ByteReader &r)
         throw SerializeError("corrupt noise recipe " +
                              std::to_string(int(noise)));
     spec.noise = NoiseRecipe(noise);
+    const std::uint8_t prefix = r.u8();
+    if (prefix > std::uint8_t(PrefixStateMode::Off))
+        throw SerializeError("corrupt prefix-state mode " +
+                             std::to_string(int(prefix)));
+    spec.prefixState = PrefixStateMode(prefix);
     r.requireEnd();
     return spec;
 }
@@ -483,6 +491,7 @@ ShardSpec::runOptions(int threads) const
     opts.seed = seed;
     opts.threads = threads;
     opts.backend = simBackend;
+    opts.prefixState = prefixState;
     return opts;
 }
 
@@ -518,6 +527,7 @@ ShardResult::encode() const
     w.u32(std::uint32_t(slots.size()));
     for (double v : slots)
         w.f64(v);
+    w.u64(prefixStateHits);
     return w.take();
 }
 
@@ -564,6 +574,15 @@ decodeResultBody(ByteReader &r)
     result.slots.reserve(num_slots);
     for (std::size_t i = 0; i < num_slots; ++i)
         result.slots.push_back(r.f64());
+    result.prefixStateHits = r.u64();
+    if (result.prefixStateHits > result.ownedTrajectories()) {
+        throw SerializeError(
+            "shard result claims " +
+            std::to_string(result.prefixStateHits) +
+            " prefix-state hit(s) for " +
+            std::to_string(result.ownedTrajectories()) +
+            " owned trajectory(ies)");
+    }
     r.requireEnd();
     return result;
 }
@@ -629,6 +648,7 @@ executeShard(const ShardSpec &spec, int threads)
     result.instances = std::move(slots.instances);
     result.fingerprints = std::move(slots.fingerprints);
     result.slots = std::move(slots.slots);
+    result.prefixStateHits = slots.prefixStateHits;
     return result;
 }
 
@@ -715,7 +735,10 @@ mergeShards(const std::vector<ShardResult> &shards)
                       slots.begin() + t * K);
         }
     }
-    return reduceTrajectorySlots(slots, total, K);
+    RunResult merged = reduceTrajectorySlots(slots, total, K);
+    for (const ShardResult &shard : shards)
+        merged.prefixStateHits += shard.prefixStateHits;
+    return merged;
 }
 
 } // namespace casq

@@ -137,6 +137,14 @@ struct ShardSpec
      */
     SimBackendKind simBackend = SimBackendKind::Dense;
 
+    /**
+     * Trajectory prefix-checkpoint reuse (PrefixStateMode
+     * semantics).  Auto vs Off never changes a bit of any result,
+     * so merged jobs stay consistent even if shards of one job were
+     * executed with different modes.
+     */
+    PrefixStateMode prefixState = PrefixStateMode::Auto;
+
     /** Canonical versioned payload. */
     std::vector<std::uint8_t> encode() const;
 
@@ -199,6 +207,9 @@ struct ShardResult
 
     /** Ordinal-major raw slots (see ShardSlots in sim/engine.hh). */
     std::vector<double> slots;
+
+    /** Owned trajectories that forked from a prefix checkpoint. */
+    std::uint64_t prefixStateHits = 0;
 
     /** Number of global trajectories this shard owns. */
     std::size_t ownedTrajectories() const;

@@ -53,6 +53,18 @@ StabilizerBackend::StabilizerBackend(std::size_t num_qubits)
 }
 
 void
+StabilizerBackend::assign(const StateBackend &src)
+{
+    casq_assert(src.kind() == SimBackendKind::Stabilizer &&
+                    src.numQubits() == _n,
+                "assign needs a stabilizer backend of the same "
+                "width");
+    // The tableau rows are the whole quantum state; the per-instance
+    // conjugation memos are caches and stay as they are.
+    _rows = static_cast<const StabilizerBackend &>(src)._rows;
+}
+
+void
 StabilizerBackend::reset()
 {
     // |0...0> is stabilized by {Z_q} with destabilizers {X_q}.

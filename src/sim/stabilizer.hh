@@ -57,6 +57,7 @@ class StabilizerBackend final : public StateBackend
     }
 
     void reset() override;
+    void assign(const StateBackend &src) override;
     void applyGate1q(const CMat &u, std::uint32_t q) override;
     void applyGate2q(const CMat &u, std::uint32_t q0,
                      std::uint32_t q1) override;

@@ -6,6 +6,20 @@
 
 namespace casq {
 
+namespace {
+
+/**
+ * Per-term factor pair for the fused phase kernel: `f0` multiplies
+ * amplitudes where the term's parity bit is 0, `f1` where it is 1.
+ */
+struct PhaseFactor
+{
+    Complex f0;
+    Complex f1;
+};
+
+} // namespace
+
 Statevector::Statevector(std::size_t num_qubits)
     : _numQubits(num_qubits),
       _amps(std::size_t(1) << num_qubits)
@@ -22,19 +36,30 @@ Statevector::reset()
 }
 
 void
+Statevector::copyFrom(const Statevector &other)
+{
+    casq_assert(other._numQubits == _numQubits,
+                "copyFrom width mismatch");
+    _amps.assign(other._amps.begin(), other._amps.end());
+}
+
+void
 Statevector::applyGate1q(const CMat &u, std::uint32_t q)
 {
-    const std::size_t mask = std::size_t(1) << q;
+    const std::size_t half = std::size_t(1) << q;
     const Complex u00 = u(0, 0), u01 = u(0, 1);
     const Complex u10 = u(1, 0), u11 = u(1, 1);
     const std::size_t n = _amps.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (i & mask)
-            continue;
-        const Complex a = _amps[i];
-        const Complex b = _amps[i | mask];
-        _amps[i] = u00 * a + u01 * b;
-        _amps[i | mask] = u10 * a + u11 * b;
+    Complex *amps = _amps.data();
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *lo = amps + base;
+        Complex *hi = lo + half;
+        for (std::size_t off = 0; off < half; ++off) {
+            const Complex a = lo[off];
+            const Complex b = hi[off];
+            lo[off] = u00 * a + u01 * b;
+            hi[off] = u10 * a + u11 * b;
+        }
     }
 }
 
@@ -48,19 +73,29 @@ Statevector::applyGate2q(const CMat &u, std::uint32_t q0,
     for (int r = 0; r < 4; ++r)
         for (int c = 0; c < 4; ++c)
             m[r][c] = u(r, c);
+    const std::size_t mlo = m0 < m1 ? m0 : m1;
+    const std::size_t mhi = m0 < m1 ? m1 : m0;
     const std::size_t n = _amps.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((i & m0) || (i & m1))
-            continue;
-        const std::size_t idx[4] = {i, i | m0, i | m1, i | m0 | m1};
-        Complex v[4];
-        for (int k = 0; k < 4; ++k)
-            v[k] = _amps[idx[k]];
-        for (int r = 0; r < 4; ++r) {
-            Complex acc{};
-            for (int k = 0; k < 4; ++k)
-                acc += m[r][k] * v[k];
-            _amps[idx[r]] = acc;
+    Complex *amps = _amps.data();
+    for (std::size_t h = 0; h < n; h += 2 * mhi) {
+        for (std::size_t l = 0; l < mhi; l += 2 * mlo) {
+            const std::size_t block = h + l;
+            for (std::size_t i = block; i < block + mlo; ++i) {
+                // Bits q0 and q1 of i are both clear here.
+                const std::size_t i1 = i | m0;
+                const std::size_t i2 = i | m1;
+                const std::size_t i3 = i | m0 | m1;
+                const Complex v0 = amps[i], v1 = amps[i1];
+                const Complex v2 = amps[i2], v3 = amps[i3];
+                amps[i] = m[0][0] * v0 + m[0][1] * v1 +
+                          m[0][2] * v2 + m[0][3] * v3;
+                amps[i1] = m[1][0] * v0 + m[1][1] * v1 +
+                           m[1][2] * v2 + m[1][3] * v3;
+                amps[i2] = m[2][0] * v0 + m[2][1] * v1 +
+                           m[2][2] * v2 + m[2][3] * v3;
+                amps[i3] = m[3][0] * v0 + m[3][1] * v1 +
+                           m[3][2] * v2 + m[3][3] * v3;
+            }
         }
     }
 }
@@ -68,18 +103,50 @@ Statevector::applyGate2q(const CMat &u, std::uint32_t q0,
 void
 Statevector::applyRz(std::uint32_t q, double theta)
 {
-    const std::size_t mask = std::size_t(1) << q;
+    const std::size_t half = std::size_t(1) << q;
     const Complex p0 = std::exp(Complex(0, -theta * 0.5));
     const Complex p1 = std::exp(Complex(0, theta * 0.5));
-    for (std::size_t i = 0; i < _amps.size(); ++i)
-        _amps[i] *= (i & mask) ? p1 : p0;
+    const std::size_t n = _amps.size();
+    Complex *amps = _amps.data();
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *lo = amps + base;
+        Complex *hi = lo + half;
+        for (std::size_t off = 0; off < half; ++off)
+            lo[off] *= p0;
+        for (std::size_t off = 0; off < half; ++off)
+            hi[off] *= p1;
+    }
 }
 
 void
 Statevector::applyRzz(std::uint32_t q0, std::uint32_t q1,
                       double theta)
 {
-    applyPhases({}, {PairAngle{q0, q1, theta}});
+    casq_assert(q0 != q1, "applyRzz needs distinct qubits");
+    const std::size_t mlo = std::size_t(1)
+                            << (q0 < q1 ? q0 : q1);
+    const std::size_t mhi = std::size_t(1)
+                            << (q0 < q1 ? q1 : q0);
+    // Rzz eigenphase: -theta/2 on even parity, +theta/2 on odd.
+    const Complex odd(std::cos(theta * 0.5),
+                      std::sin(theta * 0.5));
+    const Complex even = std::conj(odd);
+    const std::size_t n = _amps.size();
+    Complex *amps = _amps.data();
+    for (std::size_t h = 0; h < n; h += 2 * mhi) {
+        for (std::size_t l = 0; l < mhi; l += 2 * mlo) {
+            Complex *b00 = amps + h + l;
+            Complex *b01 = b00 + mlo;
+            Complex *b10 = b00 + mhi;
+            Complex *b11 = b10 + mlo;
+            for (std::size_t i = 0; i < mlo; ++i) {
+                b00[i] *= even;
+                b01[i] *= odd;
+                b10[i] *= odd;
+                b11[i] *= even;
+            }
+        }
+    }
 }
 
 void
@@ -88,21 +155,96 @@ Statevector::applyPhases(const std::vector<QubitAngle> &z_angles,
 {
     if (z_angles.empty() && zz_angles.empty())
         return;
-    const std::size_t n = _amps.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        double ang = 0.0;
-        for (const auto &za : z_angles) {
-            // Rz eigenphase: -theta/2 on |0>, +theta/2 on |1>.
-            ang += (i >> za.qubit) & 1 ? 0.5 * za.theta
-                                       : -0.5 * za.theta;
-        }
-        for (const auto &pa : zz_angles) {
-            const int parity = int((i >> pa.q0) & 1) ^
-                               int((i >> pa.q1) & 1);
-            ang += parity ? 0.5 * pa.theta : -0.5 * pa.theta;
-        }
-        _amps[i] *= Complex(std::cos(ang), std::sin(ang));
+    if (zz_angles.empty() && z_angles.size() == 1) {
+        applyRz(z_angles[0].qubit, z_angles[0].theta);
+        return;
     }
+    if (z_angles.empty() && zz_angles.size() == 1 &&
+        zz_angles[0].q0 != zz_angles[0].q1) {
+        applyRzz(zz_angles[0].q0, zz_angles[0].q1,
+                 zz_angles[0].theta);
+        return;
+    }
+
+    // Build a per-index Complex factor table by doubling over
+    // qubits, so trig calls scale with the term count instead of
+    // the state size.  The factor for index i is the product over
+    // terms of e^{+-i theta/2}, resolved at the term's highest
+    // qubit (for ZZ terms the sign depends on the lower bit of the
+    // already-built table index).
+    const std::size_t n = _amps.size();
+    _phaseScratch.resize(n);
+    Complex *table = _phaseScratch.data();
+    table[0] = 1.0;
+
+    struct ZzAt
+    {
+        std::uint32_t qlo;
+        Complex e0; //!< even parity: e^{-i theta/2}
+        Complex e1; //!< odd parity: e^{+i theta/2}
+    };
+    std::vector<ZzAt> zzHere;
+    for (std::uint32_t k = 0; k < _numQubits; ++k) {
+        // Constant (bit-k-only) factors from Z terms at k, plus
+        // degenerate ZZ pairs (q0 == q1 always has even parity).
+        Complex g(1.0); // factor when bit k = 0
+        Complex hc(1.0); // factor when bit k = 1
+        bool any = false;
+        for (const auto &za : z_angles) {
+            if (za.qubit != k)
+                continue;
+            const Complex f1(std::cos(za.theta * 0.5),
+                             std::sin(za.theta * 0.5));
+            g *= std::conj(f1);
+            hc *= f1;
+            any = true;
+        }
+        zzHere.clear();
+        for (const auto &pa : zz_angles) {
+            const std::uint32_t qhi = pa.q0 > pa.q1 ? pa.q0
+                                                    : pa.q1;
+            if (qhi != k)
+                continue;
+            const Complex f1(std::cos(pa.theta * 0.5),
+                             std::sin(pa.theta * 0.5));
+            const Complex f0 = std::conj(f1);
+            if (pa.q0 == pa.q1) {
+                g *= f0;
+                hc *= f0;
+            } else {
+                zzHere.push_back(
+                    ZzAt{pa.q0 < pa.q1 ? pa.q0 : pa.q1, f0, f1});
+            }
+            any = true;
+        }
+        const std::size_t halfLen = std::size_t(1) << k;
+        if (!any) {
+            for (std::size_t j = 0; j < halfLen; ++j)
+                table[j + halfLen] = table[j];
+            continue;
+        }
+        if (zzHere.empty()) {
+            for (std::size_t j = 0; j < halfLen; ++j) {
+                table[j + halfLen] = table[j] * hc;
+                table[j] *= g;
+            }
+            continue;
+        }
+        for (std::size_t j = 0; j < halfLen; ++j) {
+            Complex g2 = g, h2 = hc;
+            for (const auto &t : zzHere) {
+                const bool b = (j >> t.qlo) & 1;
+                g2 *= b ? t.e1 : t.e0;
+                h2 *= b ? t.e0 : t.e1;
+            }
+            table[j + halfLen] = table[j] * h2;
+            table[j] *= g2;
+        }
+    }
+
+    Complex *amps = _amps.data();
+    for (std::size_t i = 0; i < n; ++i)
+        amps[i] *= table[i];
 }
 
 void
@@ -129,26 +271,46 @@ Statevector::applyPauli(const PauliString &p)
             break;
         }
     }
-    const Complex global = p.phase();
+    // P |i> = c(i) |i ^ xmask> with
+    //   c(i) = phase * i^{|Y|} * (-1)^{popcount(i & (zmask|ymask))}
+    // (each Y contributes +i on |0> and -i = (+i)*(-1) on |1>, so
+    // the imaginary units factor out and only a parity remains;
+    // multiplying a Complex by i or -1 is exact).
+    Complex base = p.phase();
+    for (int k = __builtin_popcountll(ymask); k > 0; --k)
+        base *= Complex(0, 1);
+    const std::size_t smask = zmask | ymask;
     const std::size_t n = _amps.size();
-    std::vector<Complex> out(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        // P |i> = c(i) |i ^ xmask>.
-        const std::size_t j = i ^ xmask;
-        Complex c = global;
-        // Z factors: (-1)^bit.
-        if (__builtin_popcountll(i & zmask) & 1)
-            c = -c;
-        // Y factors: i on |0> -> |1>, -i on |1> -> |0>.
-        std::size_t ybits = ymask;
-        while (ybits) {
-            const std::size_t bit = ybits & (~ybits + 1);
-            c *= (i & bit) ? Complex(0, -1) : Complex(0, 1);
-            ybits ^= bit;
+    Complex *amps = _amps.data();
+    if (xmask == 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Complex c =
+                (__builtin_popcountll(i & smask) & 1) ? -base
+                                                      : base;
+            amps[i] *= c;
         }
-        out[j] = c * _amps[i];
+        return;
     }
-    _amps.swap(out);
+    // Swap-style in-place update over pairs {i, i ^ xmask}; the
+    // lowest X bit picks a unique representative per pair.
+    const std::size_t half = xmask & (~xmask + 1);
+    for (std::size_t blockBase = 0; blockBase < n;
+         blockBase += 2 * half) {
+        for (std::size_t off = 0; off < half; ++off) {
+            const std::size_t i = blockBase + off;
+            const std::size_t j = i ^ xmask;
+            const Complex ci =
+                (__builtin_popcountll(i & smask) & 1) ? -base
+                                                      : base;
+            const Complex cj =
+                (__builtin_popcountll(j & smask) & 1) ? -base
+                                                      : base;
+            const Complex a = amps[i];
+            const Complex b = amps[j];
+            amps[j] = ci * a;
+            amps[i] = cj * b;
+        }
+    }
 }
 
 void
@@ -162,11 +324,15 @@ Statevector::applyPauliOp(PauliOp op, std::uint32_t q)
 double
 Statevector::probabilityOne(std::uint32_t q) const
 {
-    const std::size_t mask = std::size_t(1) << q;
+    const std::size_t half = std::size_t(1) << q;
+    const std::size_t n = _amps.size();
+    const Complex *amps = _amps.data();
     double p = 0.0;
-    for (std::size_t i = 0; i < _amps.size(); ++i)
-        if (i & mask)
-            p += std::norm(_amps[i]);
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        const Complex *hi = amps + base + half;
+        for (std::size_t off = 0; off < half; ++off)
+            p += std::norm(hi[off]);
+    }
     return p;
 }
 
@@ -193,22 +359,66 @@ Statevector::probabilityOfOutcome(
 int
 Statevector::measure(std::uint32_t q, Rng &rng)
 {
-    const double p1 = probabilityOne(q);
+    // Fused: one pass accumulates both outcome probabilities (each
+    // in ascending index order, matching the unfused subset sums),
+    // then a single pass collapses and rescales.
+    const std::size_t half = std::size_t(1) << q;
+    const std::size_t n = _amps.size();
+    Complex *amps = _amps.data();
+    double p0 = 0.0, p1 = 0.0;
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        const Complex *lo = amps + base;
+        const Complex *hi = lo + half;
+        for (std::size_t off = 0; off < half; ++off)
+            p0 += std::norm(lo[off]);
+        for (std::size_t off = 0; off < half; ++off)
+            p1 += std::norm(hi[off]);
+    }
     const int outcome = rng.uniform() < p1 ? 1 : 0;
-    collapse(q, outcome);
+    const double kept = outcome ? p1 : p0;
+    const double nrm = std::sqrt(kept);
+    casq_assert(nrm > 1e-12, "state collapsed to zero norm");
+    const double inv = 1.0 / nrm;
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *lo = amps + base;
+        Complex *hi = lo + half;
+        Complex *keep = outcome ? hi : lo;
+        Complex *drop = outcome ? lo : hi;
+        for (std::size_t off = 0; off < half; ++off)
+            keep[off] *= inv;
+        for (std::size_t off = 0; off < half; ++off)
+            drop[off] = 0.0;
+    }
     return outcome;
 }
 
 void
 Statevector::collapse(std::uint32_t q, int outcome)
 {
-    const std::size_t mask = std::size_t(1) << q;
-    for (std::size_t i = 0; i < _amps.size(); ++i) {
-        const bool one = (i & mask) != 0;
-        if (one != (outcome == 1))
-            _amps[i] = 0.0;
+    // Fused: zero the dropped branch while accumulating the kept
+    // norm (adding the exact zeros changes nothing), then rescale.
+    const std::size_t half = std::size_t(1) << q;
+    const std::size_t n = _amps.size();
+    Complex *amps = _amps.data();
+    double kept = 0.0;
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *lo = amps + base;
+        Complex *hi = lo + half;
+        Complex *keep = outcome ? hi : lo;
+        Complex *drop = outcome ? lo : hi;
+        for (std::size_t off = 0; off < half; ++off)
+            kept += std::norm(keep[off]);
+        for (std::size_t off = 0; off < half; ++off)
+            drop[off] = 0.0;
     }
-    renormalize();
+    const double nrm = std::sqrt(kept);
+    casq_assert(nrm > 1e-12, "state collapsed to zero norm");
+    const double inv = 1.0 / nrm;
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *keep = amps + base + (outcome ? half : 0);
+        for (std::size_t off = 0; off < half; ++off)
+            keep[off] *= inv;
+    }
 }
 
 void
@@ -220,23 +430,46 @@ Statevector::amplitudeDamp(std::uint32_t q, double tau, double t1,
     const double decay = std::exp(-tau / t1);
     const double p1 = probabilityOne(q);
     const double p_jump = p1 * (1.0 - decay);
-    const std::size_t mask = std::size_t(1) << q;
+    const std::size_t half = std::size_t(1) << q;
+    const std::size_t n = _amps.size();
+    Complex *amps = _amps.data();
     if (rng.uniform() < p_jump) {
-        // Jump: |1> decays to |0>.
-        for (std::size_t i = 0; i < _amps.size(); ++i) {
-            if (i & mask) {
-                _amps[i & ~mask] = _amps[i];
-                _amps[i] = 0.0;
+        // Jump: |1> decays to |0>.  The post-jump norm is exactly
+        // p1 (the moved amplitudes are summed in the same order the
+        // probability pass visited them), so move and rescale fuse
+        // into one pass.
+        const double nrm = std::sqrt(p1);
+        casq_assert(nrm > 1e-12, "state collapsed to zero norm");
+        const double inv = 1.0 / nrm;
+        for (std::size_t base = 0; base < n; base += 2 * half) {
+            Complex *lo = amps + base;
+            Complex *hi = lo + half;
+            for (std::size_t off = 0; off < half; ++off) {
+                lo[off] = hi[off] * inv;
+                hi[off] = 0.0;
             }
         }
-    } else {
-        // No-jump back-action: damp the |1> amplitudes.
-        const double k = std::sqrt(decay);
-        for (std::size_t i = 0; i < _amps.size(); ++i)
-            if (i & mask)
-                _amps[i] *= k;
+        return;
     }
-    renormalize();
+    // No-jump back-action: damp the |1> amplitudes while
+    // accumulating the norm in full ascending index order.
+    const double k = std::sqrt(decay);
+    double nsum = 0.0;
+    for (std::size_t base = 0; base < n; base += 2 * half) {
+        Complex *lo = amps + base;
+        Complex *hi = lo + half;
+        for (std::size_t off = 0; off < half; ++off)
+            nsum += std::norm(lo[off]);
+        for (std::size_t off = 0; off < half; ++off) {
+            hi[off] *= k;
+            nsum += std::norm(hi[off]);
+        }
+    }
+    const double nrm = std::sqrt(nsum);
+    casq_assert(nrm > 1e-12, "state collapsed to zero norm");
+    const double inv = 1.0 / nrm;
+    for (std::size_t i = 0; i < n; ++i)
+        amps[i] *= inv;
 }
 
 double
@@ -261,21 +494,19 @@ Statevector::expectation(const PauliString &p) const
             break;
         }
     }
-    const Complex global = p.phase();
+    // Same coefficient identity as applyPauli (exact).
+    Complex base = p.phase();
+    for (int k = __builtin_popcountll(ymask); k > 0; --k)
+        base *= Complex(0, 1);
+    const std::size_t smask = zmask | ymask;
     Complex acc{};
     const std::size_t n = _amps.size();
+    const Complex *amps = _amps.data();
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t j = i ^ xmask;
-        Complex c = global;
-        if (__builtin_popcountll(i & zmask) & 1)
-            c = -c;
-        std::size_t ybits = ymask;
-        while (ybits) {
-            const std::size_t bit = ybits & (~ybits + 1);
-            c *= (i & bit) ? Complex(0, -1) : Complex(0, 1);
-            ybits ^= bit;
-        }
-        acc += std::conj(_amps[j]) * c * _amps[i];
+        const Complex c =
+            (__builtin_popcountll(i & smask) & 1) ? -base : base;
+        acc += std::conj(amps[j]) * c * amps[i];
     }
     return acc.real();
 }

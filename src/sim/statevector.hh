@@ -46,6 +46,9 @@ class Statevector
     /** Reset to |0...0>. */
     void reset();
 
+    /** Copy another state of the same width (no reallocation). */
+    void copyFrom(const Statevector &other);
+
     const std::vector<Complex> &amplitudes() const { return _amps; }
     Complex &amp(std::size_t i) { return _amps[i]; }
 
@@ -110,6 +113,7 @@ class Statevector
   private:
     std::size_t _numQubits;
     std::vector<Complex> _amps;
+    std::vector<Complex> _phaseScratch; //!< lazily sized factor table
 
     void renormalize();
 };

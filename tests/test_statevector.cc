@@ -194,5 +194,317 @@ TEST(Statevector, OverlapOfIdenticalStatesIsOne)
     EXPECT_NEAR(std::abs(a.overlap(b)), 1.0, 1e-12);
 }
 
+TEST(Statevector, CopyFromMatchesSourceExactly)
+{
+    Statevector src(3), dst(3);
+    src.applyGate1q(gateUnitary(Op::H), 0);
+    src.applyGate2q(gateUnitary(Op::ECR), 0, 2);
+    src.applyRz(1, 0.37);
+    dst.copyFrom(src);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        EXPECT_EQ(dst.amplitudes()[i], src.amplitudes()[i]) << i;
+    // The copy is independent state, not a view.
+    dst.applyGate1q(gateUnitary(Op::X), 1);
+    EXPECT_NE(dst.amplitudes()[0], src.amplitudes()[0]);
+}
+
+// ----------------------- randomized old-vs-new kernel equivalence
+//
+// The block-structured kernels replaced mask-skip loops and
+// per-amplitude trig; these references reimplement the historical
+// per-element arithmetic, so any divergence beyond accumulated
+// rounding (1e-15) is a kernel bug.
+
+/** Haar-ish random normalized state via per-amplitude Gaussians. */
+Statevector
+randomState(std::size_t qubits, Rng &rng)
+{
+    Statevector sv(qubits);
+    double nrm = 0.0;
+    for (std::size_t i = 0; i < sv.size(); ++i) {
+        const Complex a(rng.uniform(-1.0, 1.0),
+                        rng.uniform(-1.0, 1.0));
+        sv.amp(i) = a;
+        nrm += std::norm(a);
+    }
+    const double inv = 1.0 / std::sqrt(nrm);
+    for (std::size_t i = 0; i < sv.size(); ++i)
+        sv.amp(i) *= inv;
+    return sv;
+}
+
+/** Historical mask-skip 1q kernel. */
+void
+refGate1q(std::vector<Complex> &amps, const CMat &u,
+          std::uint32_t q)
+{
+    const std::size_t mask = std::size_t(1) << q;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        if (i & mask)
+            continue;
+        const Complex a = amps[i];
+        const Complex b = amps[i | mask];
+        amps[i] = u(0, 0) * a + u(0, 1) * b;
+        amps[i | mask] = u(1, 0) * a + u(1, 1) * b;
+    }
+}
+
+/** Historical mask-skip 2q kernel (q0 = less significant index). */
+void
+refGate2q(std::vector<Complex> &amps, const CMat &u,
+          std::uint32_t q0, std::uint32_t q1)
+{
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        if (i & (m0 | m1))
+            continue;
+        const Complex a00 = amps[i];
+        const Complex a01 = amps[i | m0];
+        const Complex a10 = amps[i | m1];
+        const Complex a11 = amps[i | m0 | m1];
+        amps[i] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 +
+                  u(0, 3) * a11;
+        amps[i | m0] = u(1, 0) * a00 + u(1, 1) * a01 +
+                       u(1, 2) * a10 + u(1, 3) * a11;
+        amps[i | m1] = u(2, 0) * a00 + u(2, 1) * a01 +
+                       u(2, 2) * a10 + u(2, 3) * a11;
+        amps[i | m0 | m1] = u(3, 0) * a00 + u(3, 1) * a01 +
+                            u(3, 2) * a10 + u(3, 3) * a11;
+    }
+}
+
+/** Historical per-amplitude-trig fused phase kernel. */
+void
+refPhases(std::vector<Complex> &amps,
+          const std::vector<QubitAngle> &z,
+          const std::vector<PairAngle> &zz)
+{
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        double acc = 0.0;
+        for (const QubitAngle &za : z)
+            acc += ((i >> za.qubit) & 1) ? 0.5 * za.theta
+                                         : -0.5 * za.theta;
+        for (const PairAngle &pa : zz) {
+            const int parity = int((i >> pa.q0) & 1) ^
+                               int((i >> pa.q1) & 1);
+            acc += parity ? 0.5 * pa.theta : -0.5 * pa.theta;
+        }
+        amps[i] *= Complex(std::cos(acc), std::sin(acc));
+    }
+}
+
+void
+expectAmpsNear(const Statevector &sv,
+               const std::vector<Complex> &ref, double tol,
+               const std::string &label)
+{
+    ASSERT_EQ(sv.size(), ref.size()) << label;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(std::abs(sv.amplitudes()[i] - ref[i]), 0.0,
+                    tol)
+            << label << " amp " << i;
+}
+
+TEST(StatevectorKernels, RandomizedGate1qMatchesMaskSkipReference)
+{
+    Rng rng(71);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 1 + round % 6;
+        Statevector sv = randomState(n, rng);
+        std::vector<Complex> ref = sv.amplitudes();
+        const std::uint32_t q =
+            std::uint32_t(rng.uniform(0.0, double(n))) % n;
+        for (Op op : {Op::H, Op::SX, Op::T, Op::Y}) {
+            sv.applyGate1q(gateUnitary(op), q);
+            refGate1q(ref, gateUnitary(op), q);
+        }
+        expectAmpsNear(sv, ref, 1e-15,
+                       "round " + std::to_string(round));
+    }
+}
+
+TEST(StatevectorKernels, RandomizedGate2qMatchesMaskSkipReference)
+{
+    Rng rng(72);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 2 + round % 5;
+        Statevector sv = randomState(n, rng);
+        std::vector<Complex> ref = sv.amplitudes();
+        std::uint32_t q0 =
+            std::uint32_t(rng.uniform(0.0, double(n))) % n;
+        std::uint32_t q1 =
+            std::uint32_t(rng.uniform(0.0, double(n))) % n;
+        if (q0 == q1)
+            q1 = (q1 + 1) % n;
+        for (Op op : {Op::CX, Op::ECR, Op::Swap}) {
+            sv.applyGate2q(gateUnitary(op), q0, q1);
+            refGate2q(ref, gateUnitary(op), q0, q1);
+        }
+        expectAmpsNear(sv, ref, 1e-15,
+                       "round " + std::to_string(round));
+    }
+}
+
+TEST(StatevectorKernels, RandomizedRzzMatchesPerAmplitudeTrig)
+{
+    Rng rng(73);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 2 + round % 5;
+        Statevector sv = randomState(n, rng);
+        std::vector<Complex> ref = sv.amplitudes();
+        std::uint32_t q0 =
+            std::uint32_t(rng.uniform(0.0, double(n))) % n;
+        std::uint32_t q1 =
+            std::uint32_t(rng.uniform(0.0, double(n))) % n;
+        if (q0 == q1)
+            q1 = (q1 + 1) % n;
+        const double theta = rng.uniform(-3.0, 3.0);
+        sv.applyRzz(q0, q1, theta);
+        refPhases(ref, {}, {PairAngle{q0, q1, theta}});
+        expectAmpsNear(sv, ref, 1e-15,
+                       "round " + std::to_string(round));
+    }
+}
+
+TEST(StatevectorKernels, RandomizedPhasesMatchPerAmplitudeTrig)
+{
+    Rng rng(74);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 3 + round % 4;
+        Statevector sv = randomState(n, rng);
+        std::vector<Complex> ref = sv.amplitudes();
+        std::vector<QubitAngle> z;
+        std::vector<PairAngle> zz;
+        for (std::uint32_t q = 0; q < n; ++q)
+            if (rng.bernoulli(0.7))
+                z.push_back(
+                    QubitAngle{q, rng.uniform(-2.0, 2.0)});
+        for (std::uint32_t q = 0; q + 1 < n; ++q)
+            if (rng.bernoulli(0.7))
+                zz.push_back(PairAngle{q, q + 1,
+                                       rng.uniform(-2.0, 2.0)});
+        sv.applyPhases(z, zz);
+        refPhases(ref, z, zz);
+        expectAmpsNear(sv, ref, 1e-15,
+                       "round " + std::to_string(round));
+    }
+}
+
+TEST(StatevectorKernels, RandomizedPauliMatchesMatrixKernel)
+{
+    Rng rng(75);
+    for (const char *label :
+         {"XX", "YY", "ZX", "XZ", "YX", "ZY", "IX", "YI"}) {
+        Statevector a = randomState(2, rng);
+        Statevector b(2);
+        b.copyFrom(a);
+        const PauliString p = PauliString::fromLabel(label);
+        a.applyPauli(p);
+        CMat m(4, 4);
+        const CMat full = p.matrix();
+        for (std::size_t i = 0; i < 4; ++i)
+            for (std::size_t j = 0; j < 4; ++j)
+                m(i, j) = full(i, j);
+        b.applyGate2q(m, 0, 1);
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_NEAR(
+                std::abs(a.amplitudes()[i] - b.amplitudes()[i]),
+                0.0, 1e-15)
+                << label;
+    }
+}
+
+// --------------------------------- fused-kernel bit-exact pins
+//
+// measure() fuses probabilityOne + collapse + renormalize into one
+// probability pass and one scaling pass with identical arithmetic
+// order, so composing the unfused library calls must reproduce its
+// bytes exactly -- EXPECT_EQ, no tolerance.
+
+TEST(StatevectorKernels, MeasureEqualsProbabilityPlusCollapse)
+{
+    Rng master(76);
+    for (int round = 0; round < 12; ++round) {
+        Rng setup = master.derive(std::uint64_t(round));
+        Statevector fused = randomState(4, setup);
+        Statevector composed(4);
+        composed.copyFrom(fused);
+        const std::uint32_t q = round % 4;
+
+        // Identical draw for both paths.
+        Rng draw_a = setup.derive(9000);
+        Rng draw_b = setup.derive(9000);
+        const int outcome = fused.measure(q, draw_a);
+        const int expected =
+            draw_b.uniform() < composed.probabilityOne(q) ? 1 : 0;
+        composed.collapse(q, expected);
+
+        EXPECT_EQ(outcome, expected) << "round " << round;
+        for (std::size_t i = 0; i < fused.size(); ++i)
+            EXPECT_EQ(fused.amplitudes()[i],
+                      composed.amplitudes()[i])
+                << "round " << round << " amp " << i;
+    }
+}
+
+TEST(StatevectorKernels, AmplitudeDampGroundStateIsExact)
+{
+    // The fused no-jump branch must leave an exact ground state
+    // bit-untouched: p1 == 0.0, the kept sum is exactly 1.0, and
+    // the rescale multiplies by exactly 1.0.
+    Rng rng(77);
+    Statevector sv(2);
+    sv.amplitudeDamp(0, 250.0, 80.0, rng);
+    sv.amplitudeDamp(1, 250.0, 80.0, rng);
+    EXPECT_EQ(sv.amplitudes()[0], Complex(1));
+    for (std::size_t i = 1; i < sv.size(); ++i)
+        EXPECT_EQ(sv.amplitudes()[i], Complex(0));
+}
+
+TEST(StatevectorKernels, AmplitudeDampBranchesMatchAnalytic)
+{
+    // alpha|00> + beta|01> (qubit 0 excited): both Kraus branches
+    // have closed forms the fused kernel must hit to 1e-15.
+    const double tau = 120.0, t1 = 200.0;
+    const double decay = std::exp(-tau / t1);
+    const double alpha = 0.6, beta = 0.8;
+    const double p1 = beta * beta * (1.0 - decay);
+
+    int jumps = 0, stays = 0;
+    Rng master(78);
+    for (int round = 0; round < 40; ++round) {
+        Rng rng = master.derive(std::uint64_t(round));
+        Rng probe = master.derive(std::uint64_t(round));
+        const bool jump = probe.uniform() < p1;
+        Statevector sv(2);
+        sv.amp(0) = Complex(alpha);
+        sv.amp(1) = Complex(beta);
+        sv.amplitudeDamp(0, tau, t1, rng);
+        if (jump) {
+            ++jumps;
+            // |1> decayed to |0>: the state is exactly |00>.
+            EXPECT_NEAR(std::abs(sv.amplitudes()[0] - Complex(1)),
+                        0.0, 1e-15);
+            EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 0.0, 1e-15);
+        } else {
+            ++stays;
+            const double k = std::sqrt(decay);
+            const double nrm = std::sqrt(
+                alpha * alpha + beta * k * (beta * k));
+            EXPECT_NEAR(std::abs(sv.amplitudes()[0] -
+                                 Complex(alpha / nrm)),
+                        0.0, 1e-15);
+            EXPECT_NEAR(std::abs(sv.amplitudes()[1] -
+                                 Complex(beta * k / nrm)),
+                        0.0, 1e-15);
+        }
+        EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+    }
+    // p1 ~ 0.29: both branches must actually have been exercised.
+    EXPECT_GT(jumps, 0);
+    EXPECT_GT(stays, 0);
+}
+
 } // namespace
 } // namespace casq

@@ -62,6 +62,13 @@ struct CliOptions
      * stabilizer tableau and scale past the 24-qubit dense limit.
      */
     SimBackendKind simBackend = SimBackendKind::Auto;
+
+    /**
+     * Trajectory prefix-state checkpoint reuse for --simulate.
+     * Auto vs off never changes any result bit (CI diffs the two
+     * in hexfloat), so auto is always safe.
+     */
+    PrefixStateMode prefixState = PrefixStateMode::Auto;
     std::string noise = "standard"; //!< standard|pauli|ideal
     bool twirl = true;
     bool lateTwirl = true; //!< false = historical twirl-first order
@@ -92,6 +99,9 @@ usage(const char *prog)
         << "  --backend B       simulation substrate for --simulate:\n"
         << "                    auto|dense|stabilizer (default auto;\n"
         << "                    see docs/backends.md)\n"
+        << "  --prefix-state M  trajectory prefix-state checkpoint\n"
+        << "                    reuse for --simulate: auto|off\n"
+        << "                    (default auto; bit-identical)\n"
         << "  --noise M         noise model for --simulate:\n"
         << "                    standard|pauli|ideal (default\n"
         << "                    standard; pauli keeps twirled\n"
@@ -183,6 +193,14 @@ main(int argc, char **argv)
                 return 1;
             }
             cli.simBackend = *parsed;
+        } else if (const char *v = value("--prefix-state")) {
+            const auto parsed = prefixStateModeFromName(v);
+            if (!parsed) {
+                std::cerr << "unknown prefix-state mode '" << v
+                          << "'; expected auto or off\n";
+                return 1;
+            }
+            cli.prefixState = *parsed;
         } else if (const char *v = value("--noise")) {
             cli.noise = v;
             if (cli.noise != "standard" && cli.noise != "pauli" &&
@@ -250,6 +268,7 @@ main(int argc, char **argv)
         run.seed = cli.seed;
         run.threads = int(cli.threads);
         run.backend = cli.simBackend;
+        run.prefixState = cli.prefixState;
         // A deterministic pipeline compiles a single instance no
         // matter what --ensemble asked for.
         const int instances =
@@ -279,7 +298,12 @@ main(int argc, char **argv)
                   << " trajectories on the stabilizer tableau, "
                   << (result.trajectories -
                       result.stabilizerTrajectories)
-                  << " dense)\n";
+                  << " dense)\n"
+                  << "prefix state: "
+                  << prefixStateModeName(cli.prefixState) << " ("
+                  << result.prefixStateHits << " of "
+                  << result.trajectories
+                  << " trajectories forked from a checkpoint)\n";
         // Hexfloat estimates are bit-exact, so runs that must agree
         // (late-twirl vs twirl-first, any thread count) diff clean;
         // CI gates the orderings exactly that way.

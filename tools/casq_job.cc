@@ -63,7 +63,8 @@ usage(std::ostream &os, int code)
           "  --instances M --traj T --seed S --compile-seed C\n"
           "  --shards S --no-twirl --native --no-prefix-cache\n"
           "  --sim-backend auto|dense|stabilizer\n"
-          "  --noise standard|pauli|ideal\n";
+          "  --noise standard|pauli|ideal\n"
+          "  --prefix-state auto|off\n";
     return code;
 }
 
@@ -104,6 +105,9 @@ printJob(const JobProgress &job)
     if (job.trajectoriesDone) {
         std::cout << " " << job.trajectoriesDone << "/"
                   << job.trajectories << " trajectories";
+        if (job.prefixStateHits)
+            std::cout << " (" << job.prefixStateHits
+                      << " prefix-forked)";
         if (job.trajectoriesPerSecond > 0.0) {
             std::cout << " @ " << std::fixed
                       << std::setprecision(1)
@@ -197,6 +201,15 @@ cmdSubmit(const std::string &socket_path, int argc, char **argv)
             spec.simBackend = *kind;
         } else if (const char *v = value(argc, argv, i, "--noise")) {
             spec.noise = noiseRecipeFromName(v);
+        } else if (const char *v =
+                       value(argc, argv, i, "--prefix-state")) {
+            const auto mode = prefixStateModeFromName(v);
+            if (!mode) {
+                std::cerr << "submit: unknown prefix-state mode '"
+                          << v << "'\n";
+                return 1;
+            }
+            spec.prefixState = *mode;
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             spec.twirl = false;
         } else if (std::strcmp(argv[i], "--native") == 0) {
@@ -274,6 +287,7 @@ cmdStats(const std::string &socket_path)
               << "shardRetries " << t.shardRetries << "\n"
               << "shardsStolen " << t.shardsStolen << "\n"
               << "trajectoriesDone " << t.trajectoriesDone << "\n"
+              << "prefixStateHits " << t.prefixStateHits << "\n"
               << std::fixed << std::setprecision(1) << "upMillis "
               << t.upMillis << "\n"
               << "trajectoriesPerSecond "

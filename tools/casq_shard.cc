@@ -72,7 +72,10 @@ usage(std::ostream &os, int code)
           "  --noise M         standard|pauli|ideal noise model\n"
           "                    (default standard)\n"
           "  --no-prefix-cache recompile the pass prefix per "
-          "instance\n";
+          "instance\n"
+          "  --prefix-state M  auto|off trajectory prefix-state\n"
+          "                    checkpoint reuse (default auto;\n"
+          "                    never changes any result bit)\n";
     return code;
 }
 
@@ -152,6 +155,15 @@ cmdPlan(int argc, char **argv)
             spec.simBackend = *kind;
         } else if (const char *v = value(argc, argv, i, "--noise")) {
             spec.noise = noiseRecipeFromName(v);
+        } else if (const char *v =
+                       value(argc, argv, i, "--prefix-state")) {
+            const auto mode = prefixStateModeFromName(v);
+            if (!mode) {
+                std::cerr << "plan: unknown prefix-state mode '"
+                          << v << "'\n";
+                return 1;
+            }
+            spec.prefixState = *mode;
         } else if (std::strcmp(argv[i], "--no-twirl") == 0) {
             spec.twirl = false;
         } else if (std::strcmp(argv[i], "--native") == 0) {
@@ -323,6 +335,8 @@ cmdDescribe(int argc, char **argv)
                   << "  sim-backend "
                   << simBackendKindName(spec.simBackend)
                   << " noise " << noiseRecipeName(spec.noise)
+                  << " prefix-state "
+                  << prefixStateModeName(spec.prefixState)
                   << "\n";
         return 0;
     }
