@@ -1,5 +1,6 @@
 #include "service/job.hh"
 
+#include <cmath>
 #include <limits>
 
 #include "passes/pipeline.hh"
@@ -146,6 +147,28 @@ validateJobSpec(const JobSpec &job, const AdmissionLimits &limits)
                    " qubits but the circuit has " +
                    std::to_string(work.logical.numQubits()));
         }
+    }
+
+    // The noise configuration was validated field by field when the
+    // submission frame was decoded (decodeNoiseModel rejects unknown
+    // flags, unknown extra kinds and non-finite or negative
+    // parameters); re-check the invariants the workers rely on so a
+    // spec constructed in-process cannot bypass them.
+    if (!std::isfinite(work.noise.coherentScale) ||
+        work.noise.coherentScale < 0.0)
+        reject("noise coherentScale must be finite and >= 0");
+    if (work.noise.extras.size() > 64) {
+        reject(std::to_string(work.noise.extras.size()) +
+               " extra noise sources exceed the format bound of 64");
+    }
+    for (const ExtraNoiseSpec &extra : work.noise.extras) {
+        if (extra.kind != ExtraNoiseKind::CorrelatedDephasing &&
+            extra.kind != ExtraNoiseKind::PhaseDrift)
+            reject("unknown extra noise source kind");
+        if (!std::isfinite(extra.param0) || extra.param0 < 0.0 ||
+            !std::isfinite(extra.param1) || extra.param1 < 0.0)
+            reject("extra noise source parameters must be finite "
+                   "and >= 0");
     }
 }
 

@@ -43,8 +43,11 @@ constexpr std::uint32_t kProtocolMagic = 0x50515343u;
  *   1 -- initial protocol.
  *   2 -- JobProgress and ServiceTotals carry prefixStateHits
  *        (trajectories forked from a prefix-state checkpoint).
+ *   3 -- job specs embed shard payloads in format v4, which carries
+ *        the full serialized noise configuration instead of a
+ *        3-value recipe byte (docs/noise.md).
  */
-constexpr std::uint8_t kProtocolVersion = 2;
+constexpr std::uint8_t kProtocolVersion = 3;
 
 enum class MessageType : std::uint8_t
 {

@@ -11,6 +11,7 @@
 #include "common/thread_pool.hh"
 #include "pauli/clifford.hh"
 #include "sim/backend.hh"
+#include "sim/noise/source.hh"
 #include "sim/stabilizer.hh"
 #include "sim/timeline.hh"
 
@@ -18,18 +19,8 @@ namespace casq {
 
 namespace detail {
 
-namespace {
-
-constexpr double kTwoPi = 6.28318530717958647692;
-
-/** MHz * ns -> radians. */
-double
-angleOf(double rate_mhz, double tau_ns)
-{
-    return kTwoPi * rate_mhz * tau_ns * 1e-3;
-}
-
-} // namespace
+/** The composed source list the engine drives (owner: the engine). */
+using NoiseSources = std::vector<std::unique_ptr<NoiseSource>>;
 
 /** Stochastic per-qubit hook of a segment. */
 struct StochasticQubit
@@ -82,7 +73,7 @@ struct CompiledVariant
     double prefixPendingT1 = 0.0;
 
     CompiledVariant(const ScheduledCircuit &circuit,
-                    const Backend &backend, const NoiseModel &noise);
+                    const NoiseSources &sources);
 
     /**
      * The prefix state for `kind` (Dense or Stabilizer), built
@@ -98,17 +89,15 @@ struct CompiledVariant
     mutable std::once_flag _prefixStabOnce;
     mutable std::unique_ptr<StateBackend> _prefixStab;
 
-    void analyzeStabilizerEligibility(const Backend &backend,
-                                      const NoiseModel &noise);
-    void analyzePrefixEligibility(const NoiseModel &noise);
+    void analyzeStabilizerEligibility(const NoiseSources &sources);
+    void analyzePrefixEligibility(const NoiseSources &sources);
     void buildPrefixCheckpoint(
         SimBackendKind kind,
         std::unique_ptr<StateBackend> &slot) const;
 };
 
 CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
-                                 const Backend &backend,
-                                 const NoiseModel &noise)
+                                 const NoiseSources &sources)
     : timeline(circuit)
 {
     const auto &insts = timeline.circuit().instructions();
@@ -120,89 +109,25 @@ CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
         }
     }
 
+    // Does any composed source inject per-segment stochastic
+    // phases?  If so every qubit of every segment gets a hook (the
+    // sources themselves decide per qubit what to contribute).
+    bool any_segment_hook = false;
+    for (const auto &source : sources)
+        any_segment_hook |= source->wantsSegmentHook();
+
     plans.resize(timeline.segments().size());
     for (std::size_t s = 0; s < plans.size(); ++s) {
         const Segment &seg = timeline.segments()[s];
         SegmentPlan &plan = plans[s];
         const double tau = seg.duration();
 
-        // Coherent always-on ZZ in the toggling frame (Eq. 1/2).
-        if (noise.coherentZz) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.zzRateMHz <= 0.0)
-                    continue;
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                // Intra-gate coupling is part of the calibrated
-                // gate and not an error.
-                if (sa.instIndex >= 0 &&
-                    sa.instIndex == sb.instIndex) {
-                    continue;
-                }
-                const double theta = angleOf(props.zzRateMHz, tau) *
-                                     noise.coherentScale;
-                const double s_a = sa.frameSign;
-                const double s_b = sb.frameSign;
-                plan.detZ.push_back(
-                    QubitAngle{pair.a, -theta * s_a});
-                plan.detZ.push_back(
-                    QubitAngle{pair.b, -theta * s_b});
-                plan.detZz.push_back(
-                    PairAngle{pair.a, pair.b, theta * s_a * s_b});
-            }
-        }
+        // Deterministic Z/ZZ contributions, composed in the
+        // canonical source order (docs/noise.md).
+        for (const auto &source : sources)
+            source->planSegment(seg, plan.detZ, plan.detZz);
 
-        // AC Stark shift on spectators of driven qubits (Fig. 4a).
-        if (noise.starkShift) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.starkShiftMHz <= 0.0 || props.nextNearest)
-                    continue;
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                const double theta =
-                    angleOf(props.starkShiftMHz, tau) *
-                    noise.coherentScale;
-                if (sa.driven && !sb.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.b, theta * sb.frameSign});
-                }
-                if (sb.driven && !sa.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.a, theta * sa.frameSign});
-                }
-            }
-        }
-
-        // Readout-induced Stark shift on spectators of a measured
-        // qubit (paper Sec. V D context).
-        if (noise.measurementStark) {
-            for (const auto &[pair, props] : backend.pairs()) {
-                if (props.measureStarkMHz <= 0.0 ||
-                    props.nextNearest) {
-                    continue;
-                }
-                const SegmentQubit &sa = seg.qubits[pair.a];
-                const SegmentQubit &sb = seg.qubits[pair.b];
-                const double theta =
-                    angleOf(props.measureStarkMHz, tau) *
-                    noise.coherentScale;
-                if (sa.role == Role::Measuring &&
-                    sb.role != Role::Measuring && !sb.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.b, theta * sb.frameSign});
-                }
-                if (sb.role == Role::Measuring &&
-                    sa.role != Role::Measuring && !sa.driven) {
-                    plan.detZ.push_back(QubitAngle{
-                        pair.a, theta * sa.frameSign});
-                }
-            }
-        }
-
-        // Stochastic dephasing hooks (charge parity, quasi-static,
-        // T2 jumps) for every qubit.
-        if (noise.chargeParity || noise.quasiStatic ||
-            noise.whiteDephasing) {
+        if (any_segment_hook) {
             for (std::uint32_t q = 0; q < seg.qubits.size(); ++q) {
                 plan.stoch.push_back(StochasticQubit{
                     q, seg.qubits[q].frameSign, tau});
@@ -221,28 +146,36 @@ CompiledVariant::CompiledVariant(const ScheduledCircuit &circuit,
         }
     }
 
-    analyzeStabilizerEligibility(backend, noise);
-    analyzePrefixEligibility(noise);
+    analyzeStabilizerEligibility(sources);
+    analyzePrefixEligibility(sources);
 }
 
 void
-CompiledVariant::analyzePrefixEligibility(const NoiseModel &noise)
+CompiledVariant::analyzePrefixEligibility(const NoiseSources &sources)
 {
     // Walk the timeline until the first event that consumes RNG or
     // reads per-shot state; everything before it is the shared
     // deterministic prefix.  The rules mirror TrajectoryRunner
-    // event by event:
+    // event by event, with the per-source decisions delegated to
+    // the composed sources (docs/noise.md):
     //  - a segment is eligible when it has no stochastic hooks, or
-    //    when its duration is zero (every stochastic contribution
-    //    is then exactly 0.0 and bernoulli(0) draws nothing);
+    //    when its duration is zero (sources must contribute exactly
+    //    0.0 there and draw nothing -- RNG rule 3 of
+    //    sim/noise/source.hh);
     //  - conditional instructions, Measure and Reset stop the walk
     //    (clbit reads / measurement draws);
-    //  - Op::I and virtual diagonal gates are free (no T1 flush, no
-    //    depolarizing);
-    //  - a physical gate stops the walk when amplitude damping is
-    //    on (its T1 flush would draw, and would desync the
-    //    per-qubit pending-T1 clocks) or when gate depolarizing is
-    //    on (bernoulli draw), and is eligible otherwise.
+    //  - Op::I and virtual diagonal gates are free (no idle flush,
+    //    no gate hooks);
+    //  - a physical gate stops the walk when any source declares a
+    //    prefixBlocker() (its gate-time hook would consume RNG or
+    //    desync per-shot state, e.g. the pending-T1 clocks), and is
+    //    eligible otherwise.
+    bool any_idle_flush = false;
+    bool gate_blocked = false;
+    for (const auto &source : sources) {
+        any_idle_flush |= source->wantsIdleFlush();
+        gate_blocked |= !source->prefixBlocker().empty();
+    }
     double pending = 0.0;
     std::size_t count = 0;
     const auto &segments = timeline.segments();
@@ -253,7 +186,7 @@ CompiledVariant::analyzePrefixEligibility(const NoiseModel &noise)
             const double tau = segments[event.index].duration();
             if (!plan.stoch.empty() && tau > 0.0)
                 break;
-            if (noise.amplitudeDamping)
+            if (any_idle_flush)
                 pending += tau;
             ++count;
             continue;
@@ -267,7 +200,7 @@ CompiledVariant::analyzePrefixEligibility(const NoiseModel &noise)
             ++count;
             continue;
         }
-        if (noise.amplitudeDamping || noise.gateDepolarizing)
+        if (gate_blocked)
             break;
         ++count;
     }
@@ -335,8 +268,7 @@ CompiledVariant::prefixCheckpoint(SimBackendKind kind) const
 }
 
 void
-CompiledVariant::analyzeStabilizerEligibility(const Backend &backend,
-                                              const NoiseModel &noise)
+CompiledVariant::analyzeStabilizerEligibility(const NoiseSources &sources)
 {
     const auto block = [this](std::string why) {
         stabilizerEligible = false;
@@ -345,11 +277,14 @@ CompiledVariant::analyzeStabilizerEligibility(const Backend &backend,
 
     // Stochastic noise channels first: on the standard model this
     // blocks immediately, so the per-instruction work below never
-    // runs on the paper workloads.
-    if (std::string why = noise.cliffordBlocker(backend);
-        !why.empty()) {
-        block(std::move(why));
-        return;
+    // runs on the paper workloads.  The first source with an opinion
+    // wins, in composition order.
+    for (const auto &source : sources) {
+        if (std::string why = source->cliffordBlocker();
+            !why.empty()) {
+            block(std::move(why));
+            return;
+        }
     }
 
     // Every compiled coherent phase must be a quarter turn.
@@ -405,7 +340,6 @@ namespace {
 
 using detail::CompiledVariant;
 using detail::SegmentPlan;
-using detail::angleOf;
 
 // ------------------------------------------------ circuit identity
 
@@ -517,17 +451,41 @@ resolveTrajectoryBackend(SimBackendKind requested,
 class TrajectoryRunner
 {
   public:
-    TrajectoryRunner(const Backend &backend, const NoiseModel &noise,
+    TrajectoryRunner(const Backend &backend,
+                     const detail::NoiseSources &sources,
                      std::size_t num_qubits, std::size_t num_clbits)
         : _backend(backend),
-          _noise(noise),
           _numQubits(num_qubits),
           _clbits(num_clbits, 0),
           _pendingT1(num_qubits, 0.0),
-          _cpSign(num_qubits, 1),
-          _detuning(num_qubits, 0.0),
           _zBuffer()
     {
+        // Partition the composed sources by the hooks they want,
+        // preserving composition order inside each list (the RNG
+        // draw-order contract of sim/noise/source.hh).  Shots are
+        // owned here and reused across trajectories; each hook list
+        // pairs the source with its shot so the hot loops never
+        // search.
+        for (const auto &owned : sources) {
+            const NoiseSource *source = owned.get();
+            NoiseSource::Shot *shot = nullptr;
+            if (auto fresh = source->makeShot()) {
+                shot = fresh.get();
+                _shots.push_back(std::move(fresh));
+            }
+            if (source->wantsShotQubitSampling())
+                _shotQubitHooks.push_back({source, shot});
+            if (source->wantsShotSampling())
+                _shotHooks.push_back({source, shot});
+            if (source->wantsSegmentHook())
+                _segmentHooks.push_back({source, shot});
+            if (source->wantsIdleFlush())
+                _idleHooks.push_back(source);
+            if (source->wantsGateHook())
+                _gateHooks.push_back(source);
+            if (source->wantsMeasureHook())
+                _measureHooks.push_back(source);
+        }
     }
 
     /** Execute one trajectory; returns the substrate it ran on. */
@@ -580,9 +538,20 @@ class TrajectoryRunner
     }
 
   private:
+    /** A source paired with its per-shot state (null if stateless). */
+    using SourceShot =
+        std::pair<const NoiseSource *, NoiseSource::Shot *>;
+
     const Backend &_backend;
-    const NoiseModel &_noise;
     std::size_t _numQubits;
+
+    std::vector<std::unique_ptr<NoiseSource::Shot>> _shots;
+    std::vector<SourceShot> _shotQubitHooks;
+    std::vector<SourceShot> _shotHooks;
+    std::vector<SourceShot> _segmentHooks;
+    std::vector<const NoiseSource *> _idleHooks;
+    std::vector<const NoiseSource *> _gateHooks;
+    std::vector<const NoiseSource *> _measureHooks;
 
     /**
      * Both substrates, built lazily so a pure-Clifford ensemble
@@ -596,8 +565,6 @@ class TrajectoryRunner
 
     std::vector<int> _clbits;
     std::vector<double> _pendingT1;
-    std::vector<int> _cpSign;
-    std::vector<double> _detuning;
     std::vector<QubitAngle> _zBuffer;
 
     StateBackend &
@@ -621,26 +588,16 @@ class TrajectoryRunner
     void
     sampleShotNoise(Rng &rng)
     {
+        // Qubit-major, mechanism-inner: sweep qubits once, letting
+        // every per-qubit sampler draw for qubit q before moving to
+        // q+1 (RNG rule 2 of sim/noise/source.hh).  Whole-shot
+        // samplers run after the sweep, in composition order.
         for (std::uint32_t q = 0; q < _numQubits; ++q) {
-            const QubitProperties &props = _backend.qubit(q);
-            _cpSign[q] = _noise.chargeParity ? rng.randomSign() : 1;
-            _detuning[q] =
-                _noise.quasiStatic
-                    ? rng.normal(0.0, props.quasiStaticSigmaMHz)
-                    : 0.0;
+            for (const auto &[source, shot] : _shotQubitHooks)
+                source->sampleShotQubit(shot, q, rng);
         }
-    }
-
-    double
-    dephasingJumpProb(const QubitProperties &props, double tau) const
-    {
-        // Pure-dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
-        double rate = 1.0 / props.t2Ns;
-        if (_noise.amplitudeDamping && props.t1Ns > 0.0)
-            rate -= 0.5 / props.t1Ns;
-        if (rate <= 0.0)
-            return 0.0;
-        return 0.5 * (1.0 - std::exp(-tau * rate));
+        for (const auto &[source, shot] : _shotHooks)
+            source->sampleShot(shot, rng);
     }
 
     void
@@ -648,33 +605,24 @@ class TrajectoryRunner
                  Rng &rng)
     {
         // Convention: a Hamiltonian term (nu/2) Z acting for tau
-        // gives the Rz angle theta = 2 pi nu tau (angleOf), which
-        // is what applyPhases consumes.
+        // gives the Rz angle theta = 2 pi nu tau, which is what
+        // applyPhases consumes.  The per-source contributions sum
+        // in composition order; sources that draw (the dephasing
+        // jump) do so inside their segmentPhase, so the stream
+        // stays per-qubit-ordered.
         _zBuffer.assign(plan.detZ.begin(), plan.detZ.end());
         for (const auto &sq : plan.stoch) {
-            const QubitProperties &props = _backend.qubit(sq.qubit);
             double theta = 0.0;
-            if (_noise.chargeParity &&
-                props.chargeParityMHz != 0.0) {
-                theta += angleOf(_cpSign[sq.qubit] *
-                                     props.chargeParityMHz,
-                                 sq.tau);
-            }
-            if (_noise.quasiStatic && _detuning[sq.qubit] != 0.0)
-                theta += angleOf(_detuning[sq.qubit], sq.tau);
-            theta *= sq.sign;
-            if (_noise.whiteDephasing &&
-                rng.bernoulli(dephasingJumpProb(props, sq.tau))) {
-                // Rz(pi) is a Z flip up to global phase; jump signs
-                // are frame-independent.
-                theta += 3.14159265358979323846;
+            for (const auto &[source, shot] : _segmentHooks) {
+                theta += source->segmentPhase(shot, sq.qubit,
+                                              sq.sign, sq.tau, rng);
             }
             if (theta != 0.0)
                 _zBuffer.push_back(QubitAngle{sq.qubit, theta});
         }
         _state->applyPhases(_zBuffer, plan.detZz);
 
-        if (_noise.amplitudeDamping) {
+        if (!_idleHooks.empty()) {
             for (std::uint32_t q = 0; q < _numQubits; ++q)
                 _pendingT1[q] += seg.duration();
         }
@@ -683,10 +631,10 @@ class TrajectoryRunner
     void
     flushT1(std::uint32_t q, Rng &rng)
     {
-        if (!_noise.amplitudeDamping || _pendingT1[q] <= 0.0)
+        if (_idleHooks.empty() || _pendingT1[q] <= 0.0)
             return;
-        _state->amplitudeDamp(q, _pendingT1[q],
-                             _backend.qubit(q).t1Ns, rng);
+        for (const NoiseSource *source : _idleHooks)
+            source->flushIdle(*_state, q, _pendingT1[q], rng);
         _pendingT1[q] = 0.0;
     }
 
@@ -695,47 +643,6 @@ class TrajectoryRunner
     {
         for (std::uint32_t q = 0; q < _numQubits; ++q)
             flushT1(q, rng);
-    }
-
-    void
-    applyDepolarizing(const Instruction &inst, double duration,
-                      Rng &rng)
-    {
-        if (!_noise.gateDepolarizing)
-            return;
-        double p = 0.0;
-        if (inst.qubits.size() == 1) {
-            p = _backend.qubit(inst.qubits[0]).gateError1q;
-        } else if (_backend.hasPair(inst.qubits[0],
-                                    inst.qubits[1])) {
-            p = _backend.pair(inst.qubits[0], inst.qubits[1])
-                    .gateError2q;
-            if (inst.op == Op::Can)
-                p *= 3.0; // three-CX-equivalent block
-            if (inst.op == Op::RZZ) {
-                // Pulse stretching: a short rzz pulse carries
-                // proportionally less error than a full echoed
-                // gate (paper Sec. IV B).
-                p *= std::min(
-                    1.0,
-                    duration / _backend.durations().twoQubit);
-            }
-        } else {
-            p = 7e-3;
-        }
-        if (!rng.bernoulli(p))
-            return;
-        if (inst.qubits.size() == 1) {
-            const int k = 1 + int(rng.uniformInt(3));
-            _state->applyPauliOp(PauliOp(k), inst.qubits[0]);
-        } else {
-            const int k = 1 + int(rng.uniformInt(15));
-            const int k0 = k & 3, k1 = (k >> 2) & 3;
-            if (k0)
-                _state->applyPauliOp(PauliOp(k0), inst.qubits[0]);
-            if (k1)
-                _state->applyPauliOp(PauliOp(k1), inst.qubits[1]);
-        }
     }
 
     void
@@ -751,10 +658,8 @@ class TrajectoryRunner
             const std::uint32_t q = inst.qubits[0];
             flushT1(q, rng);
             int outcome = _state->measure(q, rng);
-            if (_noise.readoutError &&
-                rng.bernoulli(_backend.qubit(q).readoutError)) {
-                outcome ^= 1;
-            }
+            for (const NoiseSource *source : _measureHooks)
+                outcome = source->onMeasurement(q, outcome, rng);
             _clbits[inst.cbit] = outcome;
             return;
           }
@@ -786,7 +691,8 @@ class TrajectoryRunner
         else
             _state->applyGate2q(unitary, inst.qubits[0],
                                inst.qubits[1]);
-        applyDepolarizing(inst, timed.duration, rng);
+        for (const NoiseSource *source : _gateHooks)
+            source->onGate(*_state, inst, timed.duration, rng);
     }
 };
 
@@ -854,7 +760,9 @@ prefixStateModeFromName(const std::string &name)
 
 SimulationEngine::SimulationEngine(const Backend &backend,
                                    const NoiseModel &noise)
-    : _backend(backend), _noise(noise)
+    : _backend(backend),
+      _noise(noise),
+      _sources(noise.buildSources(backend))
 {
 }
 
@@ -881,8 +789,8 @@ SimulationEngine::compiledVariant(const ScheduledCircuit &circuit,
             }
         }
     }
-    auto variant = std::make_shared<CompiledVariant>(
-        circuit, _backend, _noise);
+    auto variant =
+        std::make_shared<CompiledVariant>(circuit, _sources);
     variant->fingerprint = print;
     if (use_cache) {
         std::lock_guard<std::mutex> lock(_cacheMutex);
@@ -995,7 +903,7 @@ SimulationEngine::run(const std::vector<ScheduledCircuit> &variants,
     }
 
     const auto simulateRange = [&](int t0, int t1) {
-        TrajectoryRunner runner(_backend, _noise,
+        TrajectoryRunner runner(_backend, _sources,
                                 _backend.numQubits(), num_clbits);
         for (int t = t0; t < t1; ++t) {
             Rng rng = master.derive(std::uint64_t(t));
@@ -1086,7 +994,7 @@ SimulationEngine::runEnsemble(
     const auto simulateVariant = [&](const CompiledVariant &variant,
                                      std::size_t num_clbits, int k,
                                      int i0, int i1) {
-        TrajectoryRunner runner(_backend, _noise,
+        TrajectoryRunner runner(_backend, _sources,
                                 _backend.numQubits(), num_clbits);
         for (int i = i0; i < i1; ++i) {
             const std::size_t t = std::size_t(k) + std::size_t(i) * V;
@@ -1206,7 +1114,7 @@ SimulationEngine::runShard(
         [&](const CompiledVariant &variant, std::size_t num_clbits,
             const std::vector<std::size_t> &ordinals,
             std::size_t o0, std::size_t o1) {
-            TrajectoryRunner runner(_backend, _noise,
+            TrajectoryRunner runner(_backend, _sources,
                                     _backend.numQubits(),
                                     num_clbits);
             for (std::size_t o = o0; o < o1; ++o) {

@@ -294,6 +294,13 @@ class SimulationEngine
     const Backend &_backend;
     NoiseModel _noise;
 
+    /**
+     * The composed source list _noise describes, built once at
+     * construction (sim/noise/source.hh).  Owns the sources; the
+     * compiled variants and trajectory runners borrow them.
+     */
+    std::vector<std::unique_ptr<NoiseSource>> _sources;
+
     /** Lazy shared pool, reused while the thread count matches. */
     std::unique_ptr<ThreadPool> _pool;
 

@@ -1,8 +1,13 @@
 #include "sim/noise_model.hh"
 
-#include <sstream>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "common/serialize.hh"
 #include "device/backend.hh"
+#include "sim/noise/sources.hh"
 
 namespace casq {
 
@@ -48,32 +53,354 @@ NoiseModel::pauliOnly()
     return m;
 }
 
+std::vector<std::unique_ptr<NoiseSource>>
+NoiseModel::buildSources(const Backend &backend) const
+{
+    // Canonical composition order (docs/noise.md): the RNG draw
+    // sequence of every trajectory is defined by this list order,
+    // so it is part of the reproducibility contract -- append-only.
+    std::vector<std::unique_ptr<NoiseSource>> sources;
+    if (coherentZz) {
+        sources.push_back(std::make_unique<CoherentZzSource>(
+            backend, coherentScale));
+    }
+    if (starkShift) {
+        sources.push_back(std::make_unique<StarkShiftSource>(
+            backend, coherentScale));
+    }
+    if (measurementStark) {
+        sources.push_back(std::make_unique<MeasurementStarkSource>(
+            backend, coherentScale));
+    }
+    if (chargeParity) {
+        sources.push_back(
+            std::make_unique<ChargeParitySource>(backend));
+    }
+    if (quasiStatic) {
+        sources.push_back(
+            std::make_unique<QuasiStaticSource>(backend));
+    }
+    if (whiteDephasing) {
+        // With amplitude damping also active the jump rate is the
+        // pure-dephasing remainder 1/T2 - 1/(2 T1).
+        sources.push_back(std::make_unique<WhiteDephasingSource>(
+            backend, amplitudeDamping));
+    }
+    if (amplitudeDamping) {
+        sources.push_back(
+            std::make_unique<AmplitudeDampingSource>(backend));
+    }
+    if (gateDepolarizing) {
+        sources.push_back(
+            std::make_unique<GateDepolarizingSource>(backend));
+    }
+    if (readoutError) {
+        sources.push_back(
+            std::make_unique<ReadoutErrorSource>(backend));
+    }
+    for (const ExtraNoiseSpec &extra : extras) {
+        switch (extra.kind) {
+          case ExtraNoiseKind::CorrelatedDephasing:
+            sources.push_back(
+                std::make_unique<CorrelatedDephasingSource>(
+                    backend, extra.param0, extra.param1));
+            break;
+          case ExtraNoiseKind::PhaseDrift:
+            sources.push_back(std::make_unique<PhaseDriftSource>(
+                backend, extra.param0));
+            break;
+        }
+    }
+    return sources;
+}
+
 std::string
 NoiseModel::cliffordBlocker(const Backend &backend) const
 {
-    const auto blocker = [](const char *what, std::uint32_t q) {
-        std::ostringstream os;
-        os << what << " on qubit " << q
-           << " draws non-Clifford Z angles";
-        return os.str();
-    };
-    for (std::uint32_t q = 0; q < backend.numQubits(); ++q) {
-        const QubitProperties &props = backend.qubit(q);
-        if (chargeParity && props.chargeParityMHz != 0.0)
-            return blocker("charge-parity dephasing", q);
-        if (quasiStatic && props.quasiStaticSigmaMHz != 0.0)
-            return blocker("quasi-static detuning", q);
-        if (amplitudeDamping && props.t1Ns > 0.0) {
-            std::ostringstream os;
-            os << "amplitude damping on qubit " << q
-               << " is not a Clifford channel";
-            return os.str();
+    for (const auto &source : buildSources(backend)) {
+        if (std::string why = source->cliffordBlocker();
+            !why.empty()) {
+            return why;
         }
     }
-    // whiteDephasing samples exact Rz(pi) = Z flips, gate
-    // depolarizing samples Paulis, readout error flips classical
-    // bits: all Clifford-compatible.
     return "";
+}
+
+// ------------------------------------------------------ wire format
+
+namespace {
+
+/** Flag-bit order of the wire block; append-only. */
+constexpr std::uint32_t kFlagCoherentZz = 1u << 0;
+constexpr std::uint32_t kFlagStarkShift = 1u << 1;
+constexpr std::uint32_t kFlagMeasurementStark = 1u << 2;
+constexpr std::uint32_t kFlagChargeParity = 1u << 3;
+constexpr std::uint32_t kFlagQuasiStatic = 1u << 4;
+constexpr std::uint32_t kFlagWhiteDephasing = 1u << 5;
+constexpr std::uint32_t kFlagAmplitudeDamping = 1u << 6;
+constexpr std::uint32_t kFlagGateDepolarizing = 1u << 7;
+constexpr std::uint32_t kFlagReadoutError = 1u << 8;
+constexpr std::uint32_t kKnownFlags =
+    (1u << 9) - 1;
+
+/** A corrupted count must fail fast, not allocate. */
+constexpr std::size_t kMaxExtras = 64;
+
+double
+requireFiniteNonNegative(double v, const char *what)
+{
+    if (!std::isfinite(v) || v < 0.0) {
+        throw SerializeError(std::string("noise config ") + what +
+                             " must be finite and >= 0");
+    }
+    return v;
+}
+
+} // namespace
+
+void
+encodeNoiseModel(ByteWriter &w, const NoiseModel &model)
+{
+    std::uint32_t flags = 0;
+    if (model.coherentZz)
+        flags |= kFlagCoherentZz;
+    if (model.starkShift)
+        flags |= kFlagStarkShift;
+    if (model.measurementStark)
+        flags |= kFlagMeasurementStark;
+    if (model.chargeParity)
+        flags |= kFlagChargeParity;
+    if (model.quasiStatic)
+        flags |= kFlagQuasiStatic;
+    if (model.whiteDephasing)
+        flags |= kFlagWhiteDephasing;
+    if (model.amplitudeDamping)
+        flags |= kFlagAmplitudeDamping;
+    if (model.gateDepolarizing)
+        flags |= kFlagGateDepolarizing;
+    if (model.readoutError)
+        flags |= kFlagReadoutError;
+    w.u32(flags);
+    w.f64(model.coherentScale);
+    w.u32(std::uint32_t(model.extras.size()));
+    for (const ExtraNoiseSpec &extra : model.extras) {
+        w.u8(std::uint8_t(extra.kind));
+        w.f64(extra.param0);
+        w.f64(extra.param1);
+    }
+}
+
+NoiseModel
+decodeNoiseModel(ByteReader &r)
+{
+    const std::uint32_t flags = r.u32();
+    if (flags & ~kKnownFlags) {
+        throw SerializeError(
+            "noise config carries unknown mechanism flags 0x" +
+            [flags] {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%x",
+                              flags & ~kKnownFlags);
+                return std::string(buf);
+            }());
+    }
+    NoiseModel model = NoiseModel::ideal();
+    model.coherentZz = flags & kFlagCoherentZz;
+    model.starkShift = flags & kFlagStarkShift;
+    model.measurementStark = flags & kFlagMeasurementStark;
+    model.chargeParity = flags & kFlagChargeParity;
+    model.quasiStatic = flags & kFlagQuasiStatic;
+    model.whiteDephasing = flags & kFlagWhiteDephasing;
+    model.amplitudeDamping = flags & kFlagAmplitudeDamping;
+    model.gateDepolarizing = flags & kFlagGateDepolarizing;
+    model.readoutError = flags & kFlagReadoutError;
+    model.coherentScale =
+        requireFiniteNonNegative(r.f64(), "coherent scale");
+    const std::size_t count = r.count(17);
+    if (count > kMaxExtras) {
+        throw SerializeError(
+            "implausible noise config: " + std::to_string(count) +
+            " extra source(s)");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        ExtraNoiseSpec extra;
+        const std::uint8_t kind = r.u8();
+        if (kind > std::uint8_t(ExtraNoiseKind::PhaseDrift)) {
+            throw SerializeError(
+                "unknown extra noise source kind " +
+                std::to_string(int(kind)));
+        }
+        extra.kind = ExtraNoiseKind(kind);
+        extra.param0 =
+            requireFiniteNonNegative(r.f64(), "extra parameter");
+        extra.param1 =
+            requireFiniteNonNegative(r.f64(), "extra parameter");
+        model.extras.push_back(extra);
+    }
+    return model;
+}
+
+// ---------------------------------------------------- recipe strings
+
+namespace {
+
+constexpr double kDefaultCorrSigmaMHz = 0.02;
+constexpr double kDefaultCorrLength = 2.0;
+constexpr double kDefaultDriftRate = 0.001;
+
+/** Shortest decimal form that parses back to exactly `v`. */
+std::string
+formatParam(double v)
+{
+    char buf[32];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+double
+parseParam(const std::string &text, const std::string &recipe)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        !std::isfinite(v) || v < 0.0) {
+        throw SerializeError("bad parameter '" + text +
+                             "' in noise recipe '" + recipe + "'");
+    }
+    return v;
+}
+
+/** Split "name:p0:p1" into the name and the parameter list. */
+std::vector<std::string>
+splitColons(const std::string &term)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t colon = term.find(':', begin);
+        if (colon == std::string::npos) {
+            parts.push_back(term.substr(begin));
+            return parts;
+        }
+        parts.push_back(term.substr(begin, colon - begin));
+        begin = colon + 1;
+    }
+}
+
+} // namespace
+
+NoiseModel
+noiseModelFromRecipe(const std::string &recipe)
+{
+    // Terms are '+'-separated: a base model first, extras after.
+    std::vector<std::string> terms;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t plus = recipe.find('+', begin);
+        if (plus == std::string::npos) {
+            terms.push_back(recipe.substr(begin));
+            break;
+        }
+        terms.push_back(recipe.substr(begin, plus - begin));
+        begin = plus + 1;
+    }
+
+    const std::vector<std::string> base = splitColons(terms[0]);
+    NoiseModel model;
+    if (base[0] == "standard")
+        model = NoiseModel::standard();
+    else if (base[0] == "pauli")
+        model = NoiseModel::pauliOnly();
+    else if (base[0] == "ideal")
+        model = NoiseModel::ideal();
+    else if (base[0] == "coherent")
+        model = NoiseModel::coherentOnly();
+    else
+        throw SerializeError("unknown noise recipe '" + recipe +
+                             "' (base must be standard, pauli, "
+                             "ideal or coherent)");
+    if (base.size() > 2) {
+        throw SerializeError("noise recipe base '" + terms[0] +
+                             "' takes at most one :scale parameter");
+    }
+    if (base.size() == 2)
+        model.coherentScale = parseParam(base[1], recipe);
+
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+        const std::vector<std::string> parts =
+            splitColons(terms[i]);
+        ExtraNoiseSpec extra;
+        if (parts[0] == "corr") {
+            extra.kind = ExtraNoiseKind::CorrelatedDephasing;
+            extra.param0 = kDefaultCorrSigmaMHz;
+            extra.param1 = kDefaultCorrLength;
+            if (parts.size() > 3) {
+                throw SerializeError(
+                    "noise extra 'corr' takes at most "
+                    ":sigmaMHz:length parameters");
+            }
+            if (parts.size() >= 2)
+                extra.param0 = parseParam(parts[1], recipe);
+            if (parts.size() == 3)
+                extra.param1 = parseParam(parts[2], recipe);
+        } else if (parts[0] == "drift") {
+            extra.kind = ExtraNoiseKind::PhaseDrift;
+            extra.param0 = kDefaultDriftRate;
+            if (parts.size() > 2) {
+                throw SerializeError(
+                    "noise extra 'drift' takes at most one "
+                    ":rateMHz parameter");
+            }
+            if (parts.size() == 2)
+                extra.param0 = parseParam(parts[1], recipe);
+        } else {
+            throw SerializeError(
+                "unknown extra noise source '" + parts[0] +
+                "' in noise recipe '" + recipe +
+                "' (known: corr, drift)");
+        }
+        model.extras.push_back(extra);
+    }
+    return model;
+}
+
+std::string
+noiseModelRecipe(const NoiseModel &model)
+{
+    NoiseModel toggles = model;
+    toggles.coherentScale = 1.0;
+    toggles.extras.clear();
+
+    std::string out;
+    if (toggles == NoiseModel::standard())
+        out = "standard";
+    else if (toggles == NoiseModel::pauliOnly())
+        out = "pauli";
+    else if (toggles == NoiseModel::ideal())
+        out = "ideal";
+    else if (toggles == NoiseModel::coherentOnly())
+        out = "coherent";
+    else
+        out = "custom"; // display only; not parseable back
+
+    if (model.coherentScale != 1.0)
+        out += ":" + formatParam(model.coherentScale);
+    for (const ExtraNoiseSpec &extra : model.extras) {
+        switch (extra.kind) {
+          case ExtraNoiseKind::CorrelatedDephasing:
+            out += "+corr:" + formatParam(extra.param0) + ":" +
+                   formatParam(extra.param1);
+            break;
+          case ExtraNoiseKind::PhaseDrift:
+            out += "+drift:" + formatParam(extra.param0);
+            break;
+        }
+    }
+    return out;
 }
 
 } // namespace casq

@@ -72,20 +72,6 @@ BackendRecipe backendRecipeFromName(const std::string &name);
 /** Inverse of backendRecipeFromName(). */
 std::string backendRecipeName(BackendRecipe recipe);
 
-/** Noise models a spec can instruct a remote host to rebuild. */
-enum class NoiseRecipe : std::uint8_t
-{
-    Standard = 0, //!< NoiseModel::standard()
-    Pauli = 1,    //!< NoiseModel::pauliOnly() (Clifford-compatible)
-    Ideal = 2,    //!< NoiseModel::ideal()
-};
-
-/** Parse a noise label ("standard", "pauli", "ideal"). */
-NoiseRecipe noiseRecipeFromName(const std::string &name);
-
-/** Inverse of noiseRecipeFromName(). */
-std::string noiseRecipeName(NoiseRecipe recipe);
-
 /**
  * Everything a remote process needs to execute one shard of an
  * ensemble run.  encode()/decode() round-trip the spec through the
@@ -115,11 +101,15 @@ struct ShardSpec
     std::uint64_t backendSeed = 0x11;
 
     /**
-     * Noise model the executing host rebuilds (Pauli keeps twirled
-     * circuits Clifford, which is what lets simBackend engage the
-     * stabilizer tableau on a shard).
+     * Full noise configuration the executing host rebuilds, carried
+     * verbatim in the payload (format v4; encodeNoiseModel block).
+     * Earlier formats shipped only a 3-value recipe byte, silently
+     * flattening any other configuration to its nearest preset --
+     * now every toggle, scale and extra source survives the wire
+     * (pauliOnly keeps twirled circuits Clifford, which is what lets
+     * simBackend engage the stabilizer tableau on a shard).
      */
-    NoiseRecipe noise = NoiseRecipe::Standard;
+    NoiseModel noise = NoiseModel::standard();
 
     // --------------------------- ensemble/trajectory options
     std::int32_t instances = 8;

@@ -261,7 +261,7 @@ TEST(PrefixState, DynamicCircuitStopsThePrefixAtTheMeasurement)
 
 ShardSpec
 shardSpec(std::uint32_t index, std::uint32_t count,
-          PrefixStateMode prefix, NoiseRecipe noise)
+          PrefixStateMode prefix, const NoiseModel &noise)
 {
     ShardSpec spec;
     spec.shardIndex = index;
@@ -276,18 +276,19 @@ shardSpec(std::uint32_t index, std::uint32_t count,
     spec.seed = 616;
     spec.noise = noise;
     spec.prefixState = prefix;
-    if (noise == NoiseRecipe::Pauli || noise == NoiseRecipe::Ideal)
+    if (noise == NoiseModel::pauliOnly() ||
+        noise == NoiseModel::ideal())
         spec.simBackend = SimBackendKind::Auto;
     return spec;
 }
 
 RunResult
 mergeJob(std::uint32_t shards, PrefixStateMode prefix,
-         NoiseRecipe noise, int threads)
+         const NoiseModel &noise, int threads)
 {
     std::vector<ShardResult> results;
     for (std::uint32_t k = 0; k < shards; ++k) {
-        // Round-trip the wire format on every shard: the v3 payload
+        // Round-trip the wire format on every shard: the v4 payload
         // must carry the prefix mode out and the hit count back.
         const ShardSpec spec = ShardSpec::decode(
             shardSpec(k, shards, prefix, noise).encode());
@@ -300,8 +301,8 @@ mergeJob(std::uint32_t shards, PrefixStateMode prefix,
 
 TEST(PrefixState, ShardedForkMatchesShardedReplay)
 {
-    for (NoiseRecipe noise :
-         {NoiseRecipe::Standard, NoiseRecipe::Ideal}) {
+    for (const NoiseModel &noise :
+         {NoiseModel::standard(), NoiseModel::ideal()}) {
         const RunResult replay =
             mergeJob(1, PrefixStateMode::Off, noise, 1);
         for (std::uint32_t shards : {1u, 3u}) {
@@ -310,7 +311,7 @@ TEST(PrefixState, ShardedForkMatchesShardedReplay)
                     mergeJob(shards, PrefixStateMode::Auto, noise,
                              threads),
                     replay,
-                    "noise=" + noiseRecipeName(noise) +
+                    "noise=" + noiseModelRecipe(noise) +
                         " shards=" + std::to_string(shards) +
                         " threads=" + std::to_string(threads));
             }
@@ -328,7 +329,7 @@ TEST(PrefixState, ShardResultsCarryAndMergeHitCounts)
     for (std::uint32_t k = 0; k < 3; ++k) {
         const ShardSpec spec =
             shardSpec(k, 3, PrefixStateMode::Auto,
-                      NoiseRecipe::Ideal);
+                      NoiseModel::ideal());
         const ShardResult result = ShardResult::decode(
             executeShard(spec, 2).encode());
         EXPECT_EQ(result.prefixStateHits,
@@ -344,7 +345,7 @@ TEST(PrefixState, ShardResultsCarryAndMergeHitCounts)
 
     // Off on every shard reports zero hits.
     const ShardSpec off = shardSpec(0, 1, PrefixStateMode::Off,
-                                    NoiseRecipe::Ideal);
+                                    NoiseModel::ideal());
     EXPECT_EQ(executeShard(off, 1).prefixStateHits, 0u);
 }
 
@@ -352,11 +353,11 @@ TEST(PrefixState, CorruptPrefixModeByteIsRejected)
 {
     std::vector<std::uint8_t> bytes =
         shardSpec(0, 1, PrefixStateMode::Auto,
-                  NoiseRecipe::Standard)
+                  NoiseModel::standard())
             .encode();
-    // The mode byte sits right after the noise recipe byte; rather
-    // than hardcoding its offset, corrupt every byte position and
-    // require that no mutation of a single byte to 0xee ever
+    // The mode byte sits right after the serialized noise block;
+    // rather than hardcoding its offset, corrupt every byte position
+    // and require that no mutation of a single byte to 0xee ever
     // decodes into an out-of-range mode.
     bool rejected_mode = false;
     for (std::size_t off = 0; off < bytes.size(); ++off) {

@@ -360,7 +360,7 @@ TEST(BackendRouting, DefaultsStayOnTheDensePath)
     EXPECT_EQ(ExecutionOptions{}.backend, SimBackendKind::Dense);
     EXPECT_EQ(EnsembleRunOptions{}.backend, SimBackendKind::Dense);
     EXPECT_EQ(ShardSpec{}.simBackend, SimBackendKind::Dense);
-    EXPECT_EQ(ShardSpec{}.noise, NoiseRecipe::Standard);
+    EXPECT_EQ(ShardSpec{}.noise, NoiseModel::standard());
 }
 
 TEST(BackendRouting, AutoRoutesTwirledPauliNoiseToStabilizer)
@@ -579,10 +579,12 @@ TEST(ShardSpecV2, BackendAndNoiseFieldsRoundTrip)
     spec.observables = zObservables(3);
     spec.backendQubits = 3;
     spec.simBackend = SimBackendKind::Auto;
-    spec.noise = NoiseRecipe::Pauli;
+    spec.noise = NoiseModel::pauliOnly();
+    spec.noise.extras.push_back(
+        ExtraNoiseSpec{ExtraNoiseKind::PhaseDrift, 0.002, 0.0});
     const ShardSpec decoded = ShardSpec::decode(spec.encode());
     EXPECT_EQ(decoded.simBackend, SimBackendKind::Auto);
-    EXPECT_EQ(decoded.noise, NoiseRecipe::Pauli);
+    EXPECT_EQ(decoded.noise, spec.noise);
     EXPECT_EQ(decoded.runOptions().backend, SimBackendKind::Auto);
 }
 
@@ -593,24 +595,27 @@ TEST(ShardSpecV2, CorruptSelectorsAreDiagnosed)
     spec.observables = zObservables(3);
     spec.backendQubits = 3;
     auto bytes = spec.encode();
-    // The noise selector is the last byte, the backend selector the
-    // one before it (fixed tail of the v2 layout).
-    bytes[bytes.size() - 1] = 0x77;
+    // Fixed v4 tail (little-endian): u8 simBackend | noise block
+    // (u32 flags, f64 coherentScale, u32 extra count) |
+    // u8 prefixState.
+    bytes[bytes.size() - 1] = 0x77; // out-of-range prefix mode
     EXPECT_THROW(ShardSpec::decode(bytes), SerializeError);
     bytes[bytes.size() - 1] = 0;
-    bytes[bytes.size() - 2] = 0x77;
+    bytes[bytes.size() - 2] = 0x77; // implausible extra count
+    EXPECT_THROW(ShardSpec::decode(bytes), SerializeError);
+    bytes[bytes.size() - 2] = 0;
+    bytes[bytes.size() - 14] = 0x77; // unknown mechanism flag bits
     EXPECT_THROW(ShardSpec::decode(bytes), SerializeError);
 }
 
 TEST(ShardSpecV2, RecipeNamesRoundTrip)
 {
-    for (NoiseRecipe recipe :
-         {NoiseRecipe::Standard, NoiseRecipe::Pauli,
-          NoiseRecipe::Ideal}) {
-        EXPECT_EQ(noiseRecipeFromName(noiseRecipeName(recipe)),
+    for (const char *recipe :
+         {"standard", "pauli", "ideal", "coherent"}) {
+        EXPECT_EQ(noiseModelRecipe(noiseModelFromRecipe(recipe)),
                   recipe);
     }
-    EXPECT_THROW(noiseRecipeFromName("loud"), SerializeError);
+    EXPECT_THROW(noiseModelFromRecipe("loud"), SerializeError);
 }
 
 TEST(ShardSpecV2, ExecuteShardHonoursNoiseAndBackend)
@@ -627,7 +632,7 @@ TEST(ShardSpecV2, ExecuteShardHonoursNoiseAndBackend)
     spec.trajectories = 17;
     spec.seed = 5;
     spec.simBackend = SimBackendKind::Stabilizer;
-    spec.noise = NoiseRecipe::Pauli;
+    spec.noise = NoiseModel::pauliOnly();
 
     const ShardResult result =
         executeShard(ShardSpec::decode(spec.encode()));

@@ -35,6 +35,7 @@
 
 #include "bench_common.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "passes/builtin.hh"
 #include "passes/pipeline.hh"
 #include "sim/engine.hh"
@@ -69,7 +70,7 @@ struct CliOptions
      * in hexfloat), so auto is always safe.
      */
     PrefixStateMode prefixState = PrefixStateMode::Auto;
-    std::string noise = "standard"; //!< standard|pauli|ideal
+    std::string noise = "standard"; //!< noise recipe (docs/noise.md)
     bool twirl = true;
     bool lateTwirl = true; //!< false = historical twirl-first order
     bool lowerToNative = false;
@@ -102,10 +103,12 @@ usage(const char *prog)
         << "  --prefix-state M  trajectory prefix-state checkpoint\n"
         << "                    reuse for --simulate: auto|off\n"
         << "                    (default auto; bit-identical)\n"
-        << "  --noise M         noise model for --simulate:\n"
-        << "                    standard|pauli|ideal (default\n"
+        << "  --noise M         noise recipe for --simulate:\n"
+        << "                    base[:scale] of standard|pauli|\n"
+        << "                    ideal|coherent plus +corr[:sig[:len]]\n"
+        << "                    and +drift[:rate] extras (default\n"
         << "                    standard; pauli keeps twirled\n"
-        << "                    circuits Clifford)\n"
+        << "                    circuits Clifford; docs/noise.md)\n"
         << "  --no-twirl        disable Pauli twirling\n"
         << "  --twirl-first     twirl before lowering (historical\n"
         << "                    ordering; schedules are identical,\n"
@@ -203,11 +206,11 @@ main(int argc, char **argv)
             cli.prefixState = *parsed;
         } else if (const char *v = value("--noise")) {
             cli.noise = v;
-            if (cli.noise != "standard" && cli.noise != "pauli" &&
-                cli.noise != "ideal") {
-                std::cerr << "unknown noise model '" << v
-                          << "'; expected standard, pauli or "
-                             "ideal\n";
+            try {
+                noiseModelFromRecipe(cli.noise);
+            } catch (const SerializeError &err) {
+                std::cerr << "bad noise recipe '" << v
+                          << "': " << err.what() << "\n";
                 return 1;
             }
         } else if (const char *v = value("--traj")) {
@@ -252,10 +255,7 @@ main(int argc, char **argv)
         if (cli.dump)
             std::cout << "(--dump ignored with --simulate: the "
                          "fused path materializes no schedule)\n";
-        const NoiseModel noise =
-            cli.noise == "pauli"   ? NoiseModel::pauliOnly()
-            : cli.noise == "ideal" ? NoiseModel::ideal()
-                                   : NoiseModel::standard();
+        const NoiseModel noise = noiseModelFromRecipe(cli.noise);
         SimulationEngine engine(backend, noise);
         std::vector<PauliString> obs;
         for (std::uint32_t q = 0; q < cli.qubits; ++q)

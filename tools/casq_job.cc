@@ -63,7 +63,7 @@ usage(std::ostream &os, int code)
           "  --instances M --traj T --seed S --compile-seed C\n"
           "  --shards S --no-twirl --native --no-prefix-cache\n"
           "  --sim-backend auto|dense|stabilizer\n"
-          "  --noise standard|pauli|ideal\n"
+          "  --noise RECIPE (base[:scale] + extras; docs/noise.md)\n"
           "  --prefix-state auto|off\n";
     return code;
 }
@@ -200,7 +200,13 @@ cmdSubmit(const std::string &socket_path, int argc, char **argv)
             }
             spec.simBackend = *kind;
         } else if (const char *v = value(argc, argv, i, "--noise")) {
-            spec.noise = noiseRecipeFromName(v);
+            try {
+                spec.noise = noiseModelFromRecipe(v);
+            } catch (const SerializeError &err) {
+                std::cerr << "submit: bad noise recipe '" << v
+                          << "': " << err.what() << "\n";
+                return 1;
+            }
         } else if (const char *v =
                        value(argc, argv, i, "--prefix-state")) {
             const auto mode = prefixStateModeFromName(v);

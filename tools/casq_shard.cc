@@ -69,8 +69,11 @@ usage(std::ostream &os, int code)
           "  --native          lower to the native gate set\n"
           "  --sim-backend B   auto|dense|stabilizer simulation\n"
           "                    substrate (default dense)\n"
-          "  --noise M         standard|pauli|ideal noise model\n"
-          "                    (default standard)\n"
+          "  --noise M         noise recipe: base[:scale] of\n"
+          "                    standard|pauli|ideal|coherent plus\n"
+          "                    +corr[:sig[:len]] / +drift[:rate]\n"
+          "                    extras (default standard;\n"
+          "                    docs/noise.md)\n"
           "  --no-prefix-cache recompile the pass prefix per "
           "instance\n"
           "  --prefix-state M  auto|off trajectory prefix-state\n"
@@ -154,7 +157,13 @@ cmdPlan(int argc, char **argv)
             }
             spec.simBackend = *kind;
         } else if (const char *v = value(argc, argv, i, "--noise")) {
-            spec.noise = noiseRecipeFromName(v);
+            try {
+                spec.noise = noiseModelFromRecipe(v);
+            } catch (const SerializeError &err) {
+                std::cerr << "plan: bad noise recipe '" << v
+                          << "': " << err.what() << "\n";
+                return 1;
+            }
         } else if (const char *v =
                        value(argc, argv, i, "--prefix-state")) {
             const auto mode = prefixStateModeFromName(v);
@@ -334,7 +343,7 @@ cmdDescribe(int argc, char **argv)
                   << " seed " << spec.seed << "\n"
                   << "  sim-backend "
                   << simBackendKindName(spec.simBackend)
-                  << " noise " << noiseRecipeName(spec.noise)
+                  << " noise " << noiseModelRecipe(spec.noise)
                   << " prefix-state "
                   << prefixStateModeName(spec.prefixState)
                   << "\n";
