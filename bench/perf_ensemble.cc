@@ -126,6 +126,7 @@ struct Sample
     bool cached = false;
     double wallMillis = 0.0;
     std::size_t prefixLength = 0;
+    std::size_t prefixHits = 0;
     int instances = 0;
 
     double
@@ -228,6 +229,7 @@ measure(const std::string &workload, PassManager &pipeline,
     sample.cached = result.prefixLength > 0;
     sample.wallMillis = result.wallMillis;
     sample.prefixLength = result.prefixLength;
+    sample.prefixHits = result.prefixHits;
     sample.instances = int(result.instances.size());
     return sample;
 }
@@ -346,8 +348,10 @@ main(int argc, char **argv)
 
     // ------------------------------------- every stock strategy
     // Cached late-twirl vs uncached twirl-first, serial, per
-    // strategy (the CA-EC strategies keep twirl-first internally
-    // and only cache the twirl-plan prefix).
+    // strategy.  Since the scheduled CA-EC walk landed, every
+    // strategy -- the CA-EC ones included -- must actually engage
+    // the prefix cache; a zero prefix-hit count here means a
+    // pipeline silently fell back to per-instance lowering.
     for (Strategy strategy : allStrategies()) {
         CompileOptions baseline;
         baseline.strategy = strategy;
@@ -372,6 +376,12 @@ main(int argc, char **argv)
         all.push_back(measure(strategyName(strategy) + ":late",
                               stock_pipeline, logical, backend,
                               ensemble, fingerprints(reference)));
+        if (all.back().prefixHits == 0) {
+            std::cerr << "FAIL: " << strategyName(strategy)
+                      << ":late compiled without any prefix-cache"
+                         " hit\n";
+            std::exit(1);
+        }
         report({base_sample, all.back()},
                base_sample.wallMillis);
     }
@@ -416,6 +426,67 @@ main(int argc, char **argv)
             native_samples.push_back(all.back());
         }
         report(native_samples, base_sample.wallMillis);
+    }
+
+    // --------------------- paper CA-EC workload, scheduled walk
+    // The Heisenberg canonical-block chain under the plain CA-EC
+    // strategy with native lowering: the workload of the paper's
+    // compensation study (Figs. 7-8).  Twirl-first runs the layered
+    // walk and re-transpiles the whole stream per instance; the
+    // scheduled walk compiles flatten + transpile + the blueprint
+    // once, then only re-lowers the layers it absorbs angles into.
+    // Byte-compared against the twirl-first schedules before
+    // timing; the serial cached speedup is a hard gate.
+    {
+        const LayeredCircuit caec_chain =
+            canChainWorkload(options.qubits, options.depth / 2);
+
+        CompileOptions first_caec;
+        first_caec.strategy = Strategy::Ec;
+        first_caec.lowerToNative = true;
+        first_caec.lateTwirl = false;
+        PassManager first_pipeline = buildPipeline(first_caec);
+
+        CompileOptions late_caec;
+        late_caec.strategy = Strategy::Ec;
+        late_caec.lowerToNative = true;
+        PassManager late_pipeline = buildPipeline(late_caec);
+
+        ensemble.threads = 1;
+        ensemble.prefixCache = false;
+        EnsembleResult reference = first_pipeline.runEnsemble(
+            caec_chain, backend, ensemble);
+        Sample base_sample;
+        base_sample.workload = "caec-native:first";
+        base_sample.wallMillis = reference.wallMillis;
+        base_sample.instances = int(reference.instances.size());
+        all.push_back(base_sample);
+
+        std::vector<Sample> caec_samples{base_sample};
+        const auto caec_expected = fingerprints(reference);
+        ensemble.prefixCache = true;
+        all.push_back(measure("caec-native:late", late_pipeline,
+                              caec_chain, backend, ensemble,
+                              caec_expected));
+        caec_samples.push_back(all.back());
+        report(caec_samples, base_sample.wallMillis);
+
+        const Sample &cached = all.back();
+        if (cached.prefixHits == 0) {
+            std::cerr << "FAIL: caec-native:late compiled without"
+                         " any prefix-cache hit\n";
+            std::exit(1);
+        }
+        const double speedup =
+            cached.wallMillis > 0.0
+                ? base_sample.wallMillis / cached.wallMillis
+                : 0.0;
+        if (speedup < 1.2) {
+            std::cerr << "FAIL: caec-native cached speedup "
+                      << std::fixed << std::setprecision(2)
+                      << speedup << "x below the 1.2x gate\n";
+            std::exit(1);
+        }
     }
 
     // ------------------------------------------- late stochastic

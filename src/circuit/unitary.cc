@@ -1,6 +1,8 @@
 #include "circuit/unitary.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "pauli/pauli.hh"
@@ -475,6 +477,74 @@ transpileToNative(const Circuit &circuit, const TranspileOptions &opts)
         return transpileToNative(out, opts);
     (void)appendEuler; // reserved for future ECR lowering
     return out;
+}
+
+std::vector<Instruction>
+transpileFragment(std::vector<Instruction> insts,
+                  std::size_t num_qubits, std::size_t num_clbits,
+                  const TranspileOptions &options)
+{
+    Circuit staging(num_qubits, num_clbits);
+    for (Instruction &inst : insts)
+        staging.append(std::move(inst));
+    return std::move(
+        transpileToNative(staging, options).instructions());
+}
+
+namespace {
+
+/**
+ * Bit-exact identity of an instruction: two instructions map to the
+ * same key iff every field -- including the raw parameter bits --
+ * is equal, so a cache hit returns exactly the fragment a fresh
+ * transpilation would produce.
+ */
+std::string
+fragmentKey(const Instruction &inst)
+{
+    std::string key;
+    key.reserve(16 + 4 * inst.qubits.size() +
+                8 * inst.params.size());
+    auto put = [&key](const void *data, std::size_t size) {
+        key.append(static_cast<const char *>(data), size);
+    };
+    const std::int32_t head[] = {std::int32_t(inst.op),
+                                 std::int32_t(inst.tag),
+                                 inst.cbit, inst.condBit,
+                                 inst.condValue,
+                                 std::int32_t(inst.qubits.size())};
+    put(head, sizeof(head));
+    for (std::uint32_t q : inst.qubits)
+        put(&q, sizeof(q));
+    for (double p : inst.params)
+        put(&p, sizeof(p)); // raw bits: -0.0 != 0.0 is fine (miss)
+    return key;
+}
+
+} // namespace
+
+const std::vector<Instruction> &
+TranspileCache::fragmentFor(const Instruction &inst)
+{
+    const std::string key = fragmentKey(inst);
+    {
+        std::shared_lock<std::shared_mutex> lock(_mutex);
+        const auto it = _fragments.find(key);
+        if (it != _fragments.end())
+            return it->second;
+    }
+    // Compute outside any lock; the first inserter wins (the value
+    // is a deterministic function of the key, so ties are equal).
+    std::uint32_t max_qubit = 0;
+    for (std::uint32_t q : inst.qubits)
+        max_qubit = std::max(max_qubit, q);
+    const int max_clbit = std::max(inst.cbit, inst.condBit);
+    std::vector<Instruction> fragment = transpileFragment(
+        {inst}, std::size_t(max_qubit) + 1,
+        std::size_t(std::max(max_clbit, 0)) + 1, _options);
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    return _fragments.emplace(key, std::move(fragment))
+        .first->second;
 }
 
 } // namespace casq

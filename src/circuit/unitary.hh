@@ -8,8 +8,12 @@
 #ifndef CASQ_CIRCUIT_UNITARY_HH
 #define CASQ_CIRCUIT_UNITARY_HH
 
+#include <map>
 #include <optional>
+#include <shared_mutex>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "circuit/circuit.hh"
 #include "common/matrix.hh"
@@ -91,6 +95,57 @@ struct TranspileOptions
  */
 Circuit transpileToNative(const Circuit &circuit,
                           const TranspileOptions &options = {});
+
+/**
+ * Lower a standalone instruction sequence (a layer being spliced
+ * into an already-lowered stream) to the native set.  Because
+ * transpileToNative() rewrites instruction by instruction, lowering
+ * a fragment equals lowering it as part of the whole circuit -- the
+ * property the late-twirl and scheduled CA-EC passes rely on for
+ * byte-identity with the twirl-first pipelines.
+ */
+std::vector<Instruction> transpileFragment(
+    std::vector<Instruction> insts, std::size_t num_qubits,
+    std::size_t num_clbits, const TranspileOptions &options = {});
+
+/**
+ * Memoizing per-instruction transpiler.  fragmentFor() returns the
+ * native lowering of one instruction, computed once per distinct
+ * instruction (bit-exact parameter identity) and shared afterwards;
+ * splicing the cached fragments in instruction order is
+ * byte-identical to transpiling the containing circuit in one call
+ * (the transpileFragment() property, per instruction).
+ *
+ * The scheduled CA-EC pass re-lowers every layer it absorbs a
+ * compensation angle into; across an ensemble the absorbed
+ * parameters only differ by the twirl-frame sign flips, so the
+ * distinct-instruction population is small and a shared cache
+ * collapses the per-instance resynthesis (canonical blocks cost a
+ * numeric 2q decomposition each) into map lookups.
+ *
+ * Safe for concurrent use: parallel ensemble compilation shares one
+ * cache across worker threads (same locking discipline as
+ * TwirlTableCache; first inserter wins, values are deterministic).
+ */
+class TranspileCache
+{
+  public:
+    explicit TranspileCache(TranspileOptions options = {})
+        : _options(options)
+    {
+    }
+
+    const TranspileOptions &options() const { return _options; }
+
+    /** Lowered fragment of one instruction (cached). */
+    const std::vector<Instruction> &fragmentFor(
+        const Instruction &inst);
+
+  private:
+    TranspileOptions _options;
+    std::shared_mutex _mutex;
+    std::map<std::string, std::vector<Instruction>> _fragments;
+};
 
 } // namespace casq
 

@@ -48,11 +48,17 @@ LateTwirlPass::run(PassContext &context)
     const TwirlPlan &plan =
         context.requireProperty<TwirlPlan>(kTwirlPlanKey);
     std::size_t frames = 0;
+    TwirlFrames frame_insts;
     context.setFlat(lateTwirl(context.flat(), plan, context.rng(),
                               *_cache,
                               _native ? &*_native : nullptr,
-                              &frames));
+                              &frames,
+                              _publishFrames ? &frame_insts
+                                             : nullptr));
     context.setProperty(kTwirlGatesKey, frames);
+    if (_publishFrames)
+        context.setProperty(kTwirlFramesKey,
+                            std::move(frame_insts));
 }
 
 void
@@ -62,6 +68,31 @@ CaEcPass::run(PassContext &context)
     context.setLayered(applyCaEc(context.layered(),
                                  context.backend(), _options,
                                  &stats));
+    context.setProperty(kCaecStatsKey, stats);
+}
+
+void
+CaEcPlanPass::run(PassContext &context)
+{
+    context.setProperty(kCaecPlanKey,
+                        std::make_shared<const CaecPlan>(
+                            makeCaecPlan(context.layered())));
+}
+
+void
+CaEcFlatPass::run(PassContext &context)
+{
+    const auto &plan =
+        context.requireProperty<std::shared_ptr<const CaecPlan>>(
+            kCaecPlanKey);
+    const TwirlFrames *frames =
+        context.property<TwirlFrames>(kTwirlFramesKey);
+    CaecStats stats;
+    context.setFlat(applyCaEcFlat(context.flat(), *plan, frames,
+                                  context.backend(), _options,
+                                  _native ? &*_native : nullptr,
+                                  &stats, _fragments.get(),
+                                  _tables.get()));
     context.setProperty(kCaecStatsKey, stats);
 }
 

@@ -30,8 +30,20 @@ inline constexpr const char kTwirlGatesKey[] = "twirl.gates";
 /** Property: twirl blueprint for the late-twirl pass (TwirlPlan). */
 inline constexpr const char kTwirlPlanKey[] = "twirl.plan";
 
+/**
+ * Property: pre-lowering twirl frames the late-twirl pass sampled
+ * (TwirlFrames), published for the scheduled CA-EC walk.
+ */
+inline constexpr const char kTwirlFramesKey[] = "twirl.frames";
+
 /** Property: CA-EC bookkeeping (CaecStats). */
 inline constexpr const char kCaecStatsKey[] = "caec.stats";
+
+/**
+ * Property: blueprint for the scheduled CA-EC walk
+ * (std::shared_ptr<const CaecPlan>).
+ */
+inline constexpr const char kCaecPlanKey[] = "caec.plan";
 
 /** Property: idle windows found (std::vector<IdleWindow>). */
 inline constexpr const char kIdleWindowsKey[] = "idle.windows";
@@ -114,16 +126,23 @@ class TwirlPlanPass : public Pass
  * Construct with the pipeline's TranspileOptions when the pipeline
  * lowers to the native gate set, so the frame gates receive the
  * identical lowering the twirl-first ordering would have applied.
+ *
+ * Pass publish_frames = true when a CaEcFlatPass follows: the
+ * sampled pre-lowering frames are then published under
+ * kTwirlFramesKey so the scheduled CA-EC walk can rebuild the
+ * twirled layer sequence.
  */
 class LateTwirlPass : public Pass
 {
   public:
     explicit LateTwirlPass(
         std::shared_ptr<TwirlTableCache> cache = nullptr,
-        std::optional<TranspileOptions> native = std::nullopt)
+        std::optional<TranspileOptions> native = std::nullopt,
+        bool publish_frames = false)
         : _cache(cache ? std::move(cache)
                        : std::make_shared<TwirlTableCache>()),
-          _native(native)
+          _native(native),
+          _publishFrames(publish_frames)
     {
     }
 
@@ -134,9 +153,15 @@ class LateTwirlPass : public Pass
   private:
     std::shared_ptr<TwirlTableCache> _cache;
     std::optional<TranspileOptions> _native;
+    bool _publishFrames;
 };
 
-/** Context-aware error compensation (Layered stage). */
+/**
+ * Context-aware error compensation (Layered stage).  This is the
+ * legacy layered walk, kept for the twirl-first orderings
+ * (CompileOptions::lateTwirl = false) as the A/B reference of the
+ * scheduled walk below.
+ */
 class CaEcPass : public Pass
 {
   public:
@@ -152,6 +177,75 @@ class CaEcPass : public Pass
 
   private:
     CaecOptions _options;
+};
+
+/**
+ * Analysis-only pass (Layered stage, deterministic): publish the
+ * scheduled CA-EC walk's blueprint under kCaecPlanKey.  Runs in the
+ * deterministic prefix of an ensemble pipeline, so the pre-lowering
+ * layer capture happens once per ensemble; the property holds a
+ * shared_ptr, so per-instance context forks copy a pointer rather
+ * than the circuit.
+ */
+class CaEcPlanPass : public Pass
+{
+  public:
+    std::string name() const override { return "ca-ec-plan"; }
+    void run(PassContext &context) override;
+};
+
+/**
+ * Scheduled-representation CA-EC (Flat stage, after flatten / any
+ * transpile / late-twirl): runs Algorithm 2's walk over the layer
+ * segments of the lowered stream, reconstructing the pre-lowering
+ * twirled layers from the CaEcPlanPass blueprint and the frames the
+ * LateTwirlPass published.  Byte-identical to the layered CaEcPass
+ * under the twirl-first ordering at the same seed (the
+ * applyCaEcFlat() contract); deterministic, so it extends the
+ * ensemble prefix cache over the whole lowering front end.
+ */
+class CaEcFlatPass : public Pass
+{
+  public:
+    explicit CaEcFlatPass(
+        CaecOptions options = {},
+        std::optional<TranspileOptions> native = std::nullopt,
+        std::shared_ptr<TwirlTableCache> tables = nullptr)
+        : _options(options),
+          _native(native),
+          _fragments(native ? std::make_shared<TranspileCache>(
+                                  *native)
+                            : nullptr),
+          _tables(tables ? std::move(tables)
+                         : std::make_shared<TwirlTableCache>())
+    {
+    }
+
+    std::string name() const override { return "ca-ec"; }
+    void run(PassContext &context) override;
+
+    const CaecOptions &options() const { return _options; }
+
+  private:
+    CaecOptions _options;
+    std::optional<TranspileOptions> _native;
+
+    /**
+     * Per-instruction lowering cache shared across the ensemble
+     * instances this pass object compiles: absorbed parameters only
+     * differ across instances by twirl-frame sign flips, so the
+     * distinct-fragment population is small and re-synthesis of
+     * canonical blocks collapses into lookups.
+     */
+    std::shared_ptr<TranspileCache> _fragments;
+
+    /**
+     * Conjugation tables for the walk's commute-through math,
+     * shared across ensemble instances (the legacy layered walk
+     * rebuilds them numerically per instance).  Pass the pipeline's
+     * cache so the twirl-plan pass warms it in the prefix.
+     */
+    std::shared_ptr<TwirlTableCache> _tables;
 };
 
 /** Lower Layered -> Flat, re-inserting layer barriers. */

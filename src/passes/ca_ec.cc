@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
 #include <set>
 
@@ -135,51 +136,91 @@ caecActiveOnlyOptions()
 namespace {
 
 /**
- * Implementation object carrying the walk state of Algorithm 2.
- * Internal linkage: the public pass object wrapping applyCaEc() is
- * casq::CaEcPass (passes/builtin.hh), a distinct class.
+ * Emission interface of the walk.  The walk produces, in order, an
+ * interleaving of the input layers (possibly with absorbed gate
+ * parameters) and freshly synthesized compensation layers; the
+ * layered sink reproduces applyCaEc()'s LayeredCircuit, the flat
+ * sink splices the stream into the lowered barrier segments.
+ */
+class CaEcSink
+{
+  public:
+    virtual ~CaEcSink() = default;
+
+    /** A compensation layer synthesized by the walk. */
+    virtual void emitComp(Layer &&layer) = 0;
+
+    /**
+     * Input layer `index` after commute-through; `modified` is true
+     * when absorption rewrote a gate parameter in `working`.
+     */
+    virtual void emitInput(std::size_t index, const Layer &working,
+                          bool modified) = 0;
+};
+
+/**
+ * Implementation object carrying the walk state of Algorithm 2,
+ * decoupled from the circuit representation: it reads a sequence of
+ * (borrowed) pre-lowering layers and emits through a CaEcSink.  The
+ * walk consumes no randomness.  Internal linkage: the public pass
+ * objects wrapping applyCaEc() / applyCaEcFlat() are casq::CaEcPass
+ * and casq::CaEcFlatPass (passes/builtin.hh), distinct classes.
  */
 class CaEcWalk
 {
   public:
-    CaEcWalk(const LayeredCircuit &circuit, const Backend &backend,
-             const CaecOptions &options, CaecStats *stats)
-        : _in(circuit),
+    CaEcWalk(const std::vector<const Layer *> &layers,
+             std::size_t num_qubits, const Backend &backend,
+             const CaecOptions &options, CaecStats *stats,
+             CaEcSink &sink, TwirlTableCache *tables = nullptr)
+        : _layers(layers),
+          _numQubits(num_qubits),
           _backend(backend),
           _opts(options),
           _stats(stats),
-          _out(circuit.numQubits(), circuit.numClbits()),
-          _err1q(circuit.numQubits(), 0.0)
+          _sink(sink),
+          _err1q(num_qubits, 0.0),
+          _tables(tables ? tables : &_ownTables)
     {
     }
 
-    LayeredCircuit
-    run()
+    void
+    walk()
     {
-        for (const Layer &layer : _in.layers()) {
-            Layer working = layer; // params may be modified
+        for (std::size_t index = 0; index < _layers.size();
+             ++index) {
+            Layer working = *_layers[index]; // params may change
+            _modified = false;
             commuteThrough(working);
             emitPending();
-            _out.addLayer(working);
+            _sink.emitInput(index, working, _modified);
             accumulate(working);
             handleDynamic(working);
         }
         flushAll();
         emitPending();
-        return std::move(_out);
     }
 
   private:
-    const LayeredCircuit &_in;
+    const std::vector<const Layer *> &_layers;
+    std::size_t _numQubits;
     const Backend &_backend;
     const CaecOptions &_opts;
     CaecStats *_stats;
-    LayeredCircuit _out;
+    CaEcSink &_sink;
 
     std::vector<double> _err1q;
     std::map<QubitPair, double> _err2q;
     std::vector<Instruction> _pendingComp; //!< emitted before layer
-    TwirlTableCache _tables;
+
+    /**
+     * Conjugation tables: borrowed when the caller shares a cache
+     * across walks (tables are pure functions of the gate kind, so
+     * sharing cannot change results), private otherwise.
+     */
+    TwirlTableCache _ownTables;
+    TwirlTableCache *_tables;
+    bool _modified = false; //!< current layer absorbed an angle
 
     void
     bump(int CaecStats::*field)
@@ -236,7 +277,7 @@ class CaEcWalk
     void
     flushAll()
     {
-        for (std::uint32_t q = 0; q < _in.numQubits(); ++q)
+        for (std::uint32_t q = 0; q < _numQubits; ++q)
             flushZ(q);
         std::vector<QubitPair> pairs;
         for (const auto &[pair, err] : _err2q)
@@ -264,7 +305,7 @@ class CaEcWalk
                 for (auto q : inst.qubits)
                     clash |= used.count(q) > 0;
                 if (clash) {
-                    _out.addLayer(std::move(rzz_layer));
+                    _sink.emitComp(std::move(rzz_layer));
                     rzz_layer = Layer{LayerKind::TwoQubit, {}};
                     used.clear();
                 }
@@ -274,9 +315,9 @@ class CaEcWalk
             }
         }
         if (!rz_layer.insts.empty())
-            _out.addLayer(std::move(rz_layer));
+            _sink.emitComp(std::move(rz_layer));
         if (!rzz_layer.insts.empty())
-            _out.addLayer(std::move(rzz_layer));
+            _sink.emitComp(std::move(rzz_layer));
         _pendingComp.clear();
     }
 
@@ -342,10 +383,12 @@ class CaEcWalk
                 if (inst.op == Op::Can) {
                     inst.params[2] += it->second / 2.0;
                     _err2q.erase(it);
+                    _modified = true;
                     bump(&CaecStats::absorbedIntoGates);
                 } else if (inst.op == Op::RZZ) {
                     inst.params[0] -= it->second;
                     _err2q.erase(it);
+                    _modified = true;
                     bump(&CaecStats::absorbedIntoGates);
                 }
             }
@@ -379,7 +422,7 @@ class CaEcWalk
             return;
         }
 
-        const Conjugation2Q &table = _tables.tableFor(inst);
+        const Conjugation2Q &table = _tables->tableFor(inst);
 
         // External pairs (a or b with a third qubit): survive only
         // if Z on the endpoint maps to +- Z on the same endpoint.
@@ -537,8 +580,8 @@ class CaEcWalk
         if (tau <= 1e-9)
             return;
 
-        std::vector<QubitContext> ctx(_in.numQubits());
-        for (std::uint32_t q = 0; q < _in.numQubits(); ++q)
+        std::vector<QubitContext> ctx(_numQubits);
+        for (std::uint32_t q = 0; q < _numQubits; ++q)
             ctx[q] = contextOf(layer, q);
 
         for (const auto &[pair, props] : _backend.pairs()) {
@@ -728,8 +771,115 @@ class CaEcWalk
         for (auto &inst : post) {
             Layer single{LayerKind::Dynamic, {}};
             single.insts.push_back(std::move(inst));
-            _out.addLayer(std::move(single));
+            _sink.emitComp(std::move(single));
         }
+    }
+};
+
+/** Rebuilds applyCaEc()'s layered output. */
+class LayeredSink : public CaEcSink
+{
+  public:
+    LayeredSink(std::size_t num_qubits, std::size_t num_clbits)
+        : _out(num_qubits, num_clbits)
+    {
+    }
+
+    void
+    emitComp(Layer &&layer) override
+    {
+        _out.addLayer(std::move(layer));
+    }
+
+    void
+    emitInput(std::size_t, const Layer &working, bool) override
+    {
+        _out.addLayer(working);
+    }
+
+    LayeredCircuit take() { return std::move(_out); }
+
+  private:
+    LayeredCircuit _out;
+};
+
+/**
+ * Splices the walk's stream into the lowered flat segments:
+ * untouched input layers pass their existing segment through
+ * verbatim, absorbed layers and compensation layers are lowered
+ * with the pipeline's transpile options (per-fragment lowering
+ * equals whole-circuit lowering, see transpileFragment()).
+ */
+class FlatSink : public CaEcSink
+{
+  public:
+    FlatSink(std::vector<std::vector<Instruction>> segments,
+             std::size_t num_qubits, std::size_t num_clbits,
+             const TranspileOptions *native, TranspileCache *cache)
+        : _segments(std::move(segments)),
+          _numQubits(num_qubits),
+          _numClbits(num_clbits),
+          _native(native),
+          _cache(cache)
+    {
+        _out.reserve(_segments.size());
+    }
+
+    void
+    emitComp(Layer &&layer) override
+    {
+        _out.push_back(lower(std::move(layer.insts)));
+    }
+
+    void
+    emitInput(std::size_t index, const Layer &working,
+              bool modified) override
+    {
+        if (modified)
+            _out.push_back(lower(working.insts));
+        else
+            _out.push_back(std::move(_segments[index]));
+    }
+
+    /** Rejoin the output segments with the inter-layer barriers. */
+    Circuit
+    take()
+    {
+        Circuit out(_numQubits, _numClbits);
+        for (std::size_t s = 0; s < _out.size(); ++s) {
+            for (Instruction &inst : _out[s])
+                out.append(std::move(inst));
+            if (s + 1 < _out.size())
+                out.barrier();
+        }
+        return out;
+    }
+
+  private:
+    std::vector<std::vector<Instruction>> _segments;
+    std::vector<std::vector<Instruction>> _out;
+    std::size_t _numQubits;
+    std::size_t _numClbits;
+    const TranspileOptions *_native;
+    TranspileCache *_cache;
+
+    std::vector<Instruction>
+    lower(std::vector<Instruction> insts)
+    {
+        if (!_native)
+            return insts;
+        if (_cache) {
+            std::vector<Instruction> out;
+            out.reserve(insts.size());
+            for (const Instruction &inst : insts) {
+                const std::vector<Instruction> &frag =
+                    _cache->fragmentFor(inst);
+                out.insert(out.end(), frag.begin(), frag.end());
+            }
+            return out;
+        }
+        return transpileFragment(std::move(insts), _numQubits,
+                                 _numClbits, *_native);
     }
 };
 
@@ -739,8 +889,87 @@ LayeredCircuit
 applyCaEc(const LayeredCircuit &circuit, const Backend &backend,
           const CaecOptions &options, CaecStats *stats)
 {
-    CaEcWalk pass(circuit, backend, options, stats);
-    return pass.run();
+    std::vector<const Layer *> view;
+    view.reserve(circuit.layers().size());
+    for (const Layer &layer : circuit.layers())
+        view.push_back(&layer);
+    LayeredSink sink(circuit.numQubits(), circuit.numClbits());
+    CaEcWalk pass(view, circuit.numQubits(), backend, options,
+                  stats, sink);
+    pass.walk();
+    return sink.take();
+}
+
+CaecPlan
+makeCaecPlan(const LayeredCircuit &circuit)
+{
+    CaecPlan plan;
+    plan.layered = circuit;
+    for (const Layer &layer : circuit.layers())
+        for (const Instruction &inst : layer.insts)
+            plan.barrierFree &= inst.op != Op::Barrier;
+    return plan;
+}
+
+Circuit
+applyCaEcFlat(const Circuit &flat, const CaecPlan &plan,
+              const TwirlFrames *frames, const Backend &backend,
+              const CaecOptions &options,
+              const TranspileOptions *native, CaecStats *stats,
+              TranspileCache *cache, TwirlTableCache *tables)
+{
+    const std::vector<Layer> &layers = plan.layered.layers();
+    if (layers.empty())
+        return flat;
+    casq_assert(plan.barrierFree,
+                "scheduled CA-EC requires barrier-free layers "
+                "(a barrier inside a layer shifts the segment "
+                "recovery); compile this circuit twirl-first");
+
+    std::vector<std::vector<Instruction>> segments =
+        barrierSegments(flat);
+
+    // Rebuild the twirled pre-lowering layer sequence the legacy
+    // layered walk saw: the plan's layers with the late-sampled
+    // frame layers spliced around each target, empty frame layers
+    // elided exactly as pauliTwirl() elides them.
+    std::deque<Layer> frame_storage; // stable addresses
+    std::vector<const Layer *> view;
+    view.reserve(segments.size());
+    std::size_t next = 0;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        const TwirlFrames::LayerFrames *target = nullptr;
+        if (frames && next < frames->targets.size() &&
+            frames->targets[next].layer == li)
+            target = &frames->targets[next++];
+        if (target && !target->pre.empty()) {
+            frame_storage.push_back(
+                Layer{LayerKind::OneQubit, target->pre});
+            view.push_back(&frame_storage.back());
+        }
+        view.push_back(&layers[li]);
+        if (target && !target->post.empty()) {
+            frame_storage.push_back(
+                Layer{LayerKind::OneQubit, target->post});
+            view.push_back(&frame_storage.back());
+        }
+    }
+    casq_assert(!frames || next == frames->targets.size(),
+                "twirl frames cover ", frames ? frames->targets.size()
+                                              : 0,
+                " target(s) but only ", next,
+                " matched the CA-EC plan's layers");
+    casq_assert(view.size() == segments.size(),
+                "flat circuit has ", segments.size(),
+                " barrier segment(s) but the CA-EC plan expects ",
+                view.size());
+
+    FlatSink sink(std::move(segments), plan.layered.numQubits(),
+                  plan.layered.numClbits(), native, cache);
+    CaEcWalk pass(view, plan.layered.numQubits(), backend, options,
+                  stats, sink, tables);
+    pass.walk();
+    return sink.take();
 }
 
 } // namespace casq

@@ -20,7 +20,9 @@
 #define CASQ_PASSES_CA_EC_HH
 
 #include "circuit/stratify.hh"
+#include "circuit/unitary.hh"
 #include "device/backend.hh"
+#include "passes/twirling.hh"
 
 namespace casq {
 
@@ -91,6 +93,67 @@ LayeredCircuit applyCaEc(const LayeredCircuit &circuit,
  * Sec. V E), leaving idle periods to the decoupling pass.
  */
 CaecOptions caecActiveOnlyOptions();
+
+/**
+ * Deterministic blueprint for the scheduled (flat-stage) CA-EC
+ * walk: the pre-twirl layered circuit captured before lowering,
+ * from which applyCaEcFlat() reconstructs -- together with the
+ * frames the late-twirl pass sampled -- the exact layer sequence
+ * the legacy layered walk would have operated on.  Captured once
+ * in a pipeline's deterministic prefix and shared across ensemble
+ * instances (the property map stores it as a shared_ptr so the
+ * per-instance context forks copy a pointer, not the circuit).
+ */
+struct CaecPlan
+{
+    LayeredCircuit layered{0, 0};
+
+    /**
+     * False when some layer holds a Barrier instruction, which
+     * would shift the flat segment recovery; applyCaEcFlat()
+     * rejects such plans (twirl-first pipelines accept them).
+     */
+    bool barrierFree = true;
+};
+
+/** Capture the scheduled-walk blueprint of a layered circuit. */
+CaecPlan makeCaecPlan(const LayeredCircuit &circuit);
+
+/**
+ * Apply Algorithm 2 on the flat (scheduled-representation) stream:
+ * `flat` must be flatten() of the plan's circuit, optionally
+ * transpiled (pass the same options through `native`), with the
+ * late-twirl frames of `frames` already spliced in.  Layer segments
+ * are recovered from the full barriers flatten() emits; the walk
+ * runs over the reconstructed pre-lowering twirled layers, passes
+ * untouched segments through verbatim, re-lowers the layers it
+ * absorbed compensation into, and splices freshly lowered
+ * compensation layers between segments.
+ *
+ * Equivalence contract: at the same seed this returns byte-for-byte
+ * what flatten() (+ transpileToNative()) of applyCaEc() on the
+ * twirled circuit produces -- same instructions, same order, same
+ * barriers -- so scheduling it yields schedules byte-identical to
+ * the legacy twirl-first CA-EC pipeline.  The walk itself consumes
+ * no randomness; `frames == nullptr` means the stream is untwirled.
+ *
+ * `cache`, when given, memoizes the per-instruction re-lowering of
+ * absorbed and compensation layers across calls (share one cache
+ * across an ensemble; see TranspileCache).  It must have been
+ * constructed with the same options as `native`.  `tables`, when
+ * given, shares the walk's Pauli-conjugation tables across calls
+ * (tables are pure functions of the gate kind; the legacy layered
+ * walk rebuilds them per call) -- typically the pipeline's
+ * TwirlTableCache, already warmed by the twirl-plan pass.
+ */
+Circuit applyCaEcFlat(const Circuit &flat, const CaecPlan &plan,
+                      const TwirlFrames *frames,
+                      const Backend &backend,
+                      const CaecOptions &options = {},
+                      const TranspileOptions *native = nullptr,
+                      CaecStats *stats = nullptr,
+                      TranspileCache *cache = nullptr,
+                      TwirlTableCache *tables = nullptr);
 
 } // namespace casq
 

@@ -48,22 +48,55 @@ allStrategies()
     return all;
 }
 
+namespace {
+
+/** The CA-EC option set a strategy's compensation pass runs with. */
+CaecOptions
+caecOptionsFor(const CompileOptions &options)
+{
+    switch (options.strategy) {
+      case Strategy::EcAlignedDd: {
+        // Aligned DD removes the Z errors; compensation handles
+        // the surviving ZZ (paper Fig. 3c combined curve).
+        CaecOptions caec = options.caec;
+        caec.compensateZ = false;
+        caec.starkCompensation = false;
+        return caec;
+      }
+      case Strategy::Combined: {
+        // CA-DD covers idle contexts; compensation covers the
+        // gate-active contexts DD cannot touch (paper Sec. V E).
+        CaecOptions caec = caecActiveOnlyOptions();
+        caec.assumedDynamicIdleNs =
+            options.caec.assumedDynamicIdleNs;
+        caec.minAngle = options.caec.minAngle;
+        caec.insertRzz = options.caec.insertRzz;
+        return caec;
+      }
+      default:
+        return options.caec;
+    }
+}
+
+} // namespace
+
 PassManager
 buildPipeline(const CompileOptions &options)
 {
     PassManager manager;
 
-    // The CA-EC strategies read the twirl frames at the layered
-    // stage (sign flips through the frames, Algorithm 2), so they
-    // keep the twirl-first ordering; every other strategy defaults
-    // to late twirling on the lowered circuit, which leaves the
+    // Every strategy defaults to the late ordering: sample the
+    // twirl frames -- and, for the CA-EC strategies, run the
+    // compensation walk -- on the lowered circuit, which leaves the
     // whole flatten/(transpile) front end deterministic and
     // therefore shareable across ensemble instances.
+    // CompileOptions::lateTwirl = false restores the historical
+    // twirl-first ordering (the A/B reference).
     const bool uses_caec = options.strategy == Strategy::Ec ||
                            options.strategy == Strategy::EcAlignedDd ||
                            options.strategy == Strategy::Combined;
-    const bool late_twirl =
-        options.twirl && options.lateTwirl && !uses_caec;
+    const bool late_twirl = options.twirl && options.lateTwirl;
+    const bool scheduled_caec = uses_caec && options.lateTwirl;
 
     std::shared_ptr<TwirlTableCache> tables;
     if (options.twirl) {
@@ -76,42 +109,27 @@ buildPipeline(const CompileOptions &options)
             manager.emplace<TwirlPass>(tables);
     }
 
-    // Layered-stage compensation.
-    switch (options.strategy) {
-      case Strategy::Ec:
-        manager.emplace<CaEcPass>(options.caec);
-        break;
-      case Strategy::EcAlignedDd: {
-        // Aligned DD removes the Z errors; compensation handles
-        // the surviving ZZ (paper Fig. 3c combined curve).
-        CaecOptions caec = options.caec;
-        caec.compensateZ = false;
-        caec.starkCompensation = false;
-        manager.emplace<CaEcPass>(caec);
-        break;
-      }
-      case Strategy::Combined: {
-        // CA-DD covers idle contexts; compensation covers the
-        // gate-active contexts DD cannot touch (paper Sec. V E).
-        CaecOptions caec = caecActiveOnlyOptions();
-        caec.assumedDynamicIdleNs =
-            options.caec.assumedDynamicIdleNs;
-        manager.emplace<CaEcPass>(caec);
-        break;
-      }
-      default:
-        break;
-    }
+    // Layered-stage compensation: the legacy walk under the
+    // twirl-first ordering, the blueprint capture otherwise (the
+    // walk itself then runs at the flat stage below).
+    if (uses_caec && !scheduled_caec)
+        manager.emplace<CaEcPass>(caecOptionsFor(options));
+    if (scheduled_caec)
+        manager.emplace<CaEcPlanPass>();
 
+    const std::optional<TranspileOptions> native =
+        options.lowerToNative
+            ? std::optional<TranspileOptions>(options.transpile)
+            : std::nullopt;
     manager.emplace<FlattenPass>();
     if (options.lowerToNative)
         manager.emplace<TranspilePass>(options.transpile);
     if (late_twirl)
-        manager.emplace<LateTwirlPass>(
-            tables, options.lowerToNative
-                        ? std::optional<TranspileOptions>(
-                              options.transpile)
-                        : std::nullopt);
+        manager.emplace<LateTwirlPass>(tables, native,
+                                       scheduled_caec);
+    if (scheduled_caec)
+        manager.emplace<CaEcFlatPass>(caecOptionsFor(options),
+                                      native, tables);
     manager.emplace<SchedulePass>();
 
     // Scheduled-stage decoupling.

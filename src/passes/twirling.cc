@@ -151,10 +151,27 @@ makeTwirlPlan(const LayeredCircuit &circuit)
     return plan;
 }
 
+std::vector<std::vector<Instruction>>
+barrierSegments(const Circuit &flat)
+{
+    // flatten() emits exactly one all-qubit barrier between
+    // consecutive layers, and transpilation passes barriers through
+    // untouched.
+    std::vector<std::vector<Instruction>> segments(1);
+    for (const Instruction &inst : flat.instructions()) {
+        if (inst.op == Op::Barrier &&
+            inst.qubits.size() == flat.numQubits())
+            segments.emplace_back();
+        else
+            segments.back().push_back(inst);
+    }
+    return segments;
+}
+
 Circuit
 lateTwirl(const Circuit &flat, const TwirlPlan &plan, Rng &rng,
           TwirlTableCache &cache, const TranspileOptions *native,
-          std::size_t *frames)
+          std::size_t *frames, TwirlFrames *frame_insts)
 {
     if (frames)
         *frames = 0;
@@ -165,17 +182,8 @@ lateTwirl(const Circuit &flat, const TwirlPlan &plan, Rng &rng,
                 "(a barrier inside a layer shifts the segment "
                 "recovery); compile this circuit twirl-first");
 
-    // Recover the layer segments: flatten() emits exactly one
-    // all-qubit barrier between consecutive layers, and
-    // transpilation passes barriers through untouched.
-    std::vector<std::vector<Instruction>> segments(1);
-    for (const Instruction &inst : flat.instructions()) {
-        if (inst.op == Op::Barrier &&
-            inst.qubits.size() == flat.numQubits())
-            segments.emplace_back();
-        else
-            segments.back().push_back(inst);
-    }
+    std::vector<std::vector<Instruction>> segments =
+        barrierSegments(flat);
     casq_assert(segments.size() == plan.layerCount,
                 "flat circuit has ", segments.size(),
                 " barrier segment(s) but the twirl plan was "
@@ -186,11 +194,9 @@ lateTwirl(const Circuit &flat, const TwirlPlan &plan, Rng &rng,
     const auto lowered = [&](std::vector<Instruction> layer) {
         if (!native)
             return layer;
-        Circuit staging(flat.numQubits(), flat.numClbits());
-        for (Instruction &inst : layer)
-            staging.append(std::move(inst));
-        return std::move(
-            transpileToNative(staging, *native).instructions());
+        return transpileFragment(std::move(layer),
+                                 flat.numQubits(),
+                                 flat.numClbits(), *native);
     };
 
     std::vector<std::vector<Instruction>> out_segments;
@@ -205,9 +211,12 @@ lateTwirl(const Circuit &flat, const TwirlPlan &plan, Rng &rng,
         std::vector<Instruction> pre, post;
         sampleTwirlFrames(plan.targets[next].gates, rng, cache, pre,
                           post);
-        ++next;
         if (frames)
             *frames += pre.size() + post.size();
+        if (frame_insts)
+            frame_insts->targets.push_back(
+                {plan.targets[next].layer, pre, post});
+        ++next;
         // Empty frame layers are elided before lowering, exactly as
         // pauliTwirl() skips empty pre/post layers.
         if (!pre.empty())

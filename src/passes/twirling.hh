@@ -117,6 +117,40 @@ struct TwirlPlan
 TwirlPlan makeTwirlPlan(const LayeredCircuit &circuit);
 
 /**
+ * The frames lateTwirl() sampled, recorded *before* native
+ * lowering: for every plan target, the tagged Pauli instructions of
+ * the pre and post frame layers (possibly empty -- identity frames
+ * insert no gates).  The scheduled CA-EC walk consumes this to
+ * rebuild the twirled pre-lowering layer sequence the legacy
+ * layered walk would have seen, because after transpilation the
+ * frame gates are no longer recoverable from the lowered stream
+ * (Y lowers to an untagged rz + x fragment, for example).
+ */
+struct TwirlFrames
+{
+    struct LayerFrames
+    {
+        std::size_t layer = 0;          //!< plan target layer index
+        std::vector<Instruction> pre;   //!< frames before the layer
+        std::vector<Instruction> post;  //!< frames after the layer
+    };
+
+    /** One record per plan target, in target order. */
+    std::vector<LayerFrames> targets;
+};
+
+/**
+ * Split a flat circuit into the layer segments flatten() encoded:
+ * one segment per stretch between consecutive all-qubit barriers
+ * (the barriers themselves are dropped).  Transpilation passes
+ * barriers through untouched, so the split works on lowered streams
+ * too; both lateTwirl() and the scheduled CA-EC walk recover layer
+ * boundaries this way.
+ */
+std::vector<std::vector<Instruction>>
+barrierSegments(const Circuit &flat);
+
+/**
  * Insert freshly sampled Pauli-twirl frames into a lowered circuit:
  * `flat` must be flatten() of the circuit the plan was captured
  * from, optionally transpiled to the native set (pass the same
@@ -131,12 +165,15 @@ TwirlPlan makeTwirlPlan(const LayeredCircuit &circuit);
  * same barriers -- so scheduling it yields schedules byte-identical
  * to the twirl-first pipeline.  `frames`, when given, receives the
  * number of non-identity frame gates before native lowering (the
- * kTwirlGatesKey convention).
+ * kTwirlGatesKey convention); `frame_insts`, when given, receives
+ * the sampled pre-lowering frame instructions per target (for the
+ * scheduled CA-EC walk).
  */
 Circuit lateTwirl(const Circuit &flat, const TwirlPlan &plan,
                   Rng &rng, TwirlTableCache &cache,
                   const TranspileOptions *native = nullptr,
-                  std::size_t *frames = nullptr);
+                  std::size_t *frames = nullptr,
+                  TwirlFrames *frame_insts = nullptr);
 
 } // namespace casq
 

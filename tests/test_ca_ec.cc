@@ -1,10 +1,14 @@
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "experiments/ramsey.hh"
+#include "passes/builtin.hh"
 #include "passes/ca_ec.hh"
+#include "passes/pipeline.hh"
 #include "sim/executor.hh"
+#include "sim/shard.hh"
 
 namespace casq {
 namespace {
@@ -232,6 +236,263 @@ TEST(CaEc, StatsCountConditionalRules)
     // Pairs (0,1) and (1,2) accumulate during the measurement and
     // convert into conditional rules.
     EXPECT_GE(stats.conditionalRz, 1);
+}
+
+// ------------------- scheduled walk vs legacy layered walk -------
+//
+// The scheduled-representation CA-EC pipeline (ca-ec-plan ->
+// flatten -> (transpile) -> late-twirl -> ca-ec on the flat stream)
+// must produce schedules byte-identical to the historical
+// twirl-first ordering with the layered walk, for every CA-EC
+// strategy, thread count, and lowering mode.
+
+const std::vector<Strategy> &
+caecStrategies()
+{
+    static const std::vector<Strategy> all{
+        Strategy::Ec, Strategy::EcAlignedDd, Strategy::Combined};
+    return all;
+}
+
+/**
+ * Workload exercising every compensation path of Algorithm 2:
+ * absorber gates (can/rzz), a Clifford 2q layer the pending angles
+ * transform through, idle accumulation layers, and a measure ->
+ * feedforward dynamic tail (the Fig. 9b conditional-rz rule)
+ * followed by one more gate layer.
+ */
+LayeredCircuit
+scheduledWalkWorkload()
+{
+    LayeredCircuit circuit(5, 1);
+
+    Layer gates{LayerKind::TwoQubit, {}};
+    gates.insts.emplace_back(Op::ECR,
+                             std::vector<std::uint32_t>{0, 1});
+    gates.insts.emplace_back(
+        Op::Can, std::vector<std::uint32_t>{2, 3},
+        std::vector<double>{0.3, 0.2, 0.1});
+    circuit.addLayer(std::move(gates));
+
+    Layer idle{LayerKind::OneQubit, {}};
+    for (std::uint32_t q = 0; q < 5; ++q)
+        idle.insts.emplace_back(Op::Delay,
+                                std::vector<std::uint32_t>{q},
+                                std::vector<double>{700.0});
+    circuit.addLayer(std::move(idle));
+
+    Layer absorbers{LayerKind::TwoQubit, {}};
+    absorbers.insts.emplace_back(Op::RZZ,
+                                 std::vector<std::uint32_t>{1, 2},
+                                 std::vector<double>{0.37});
+    absorbers.insts.emplace_back(
+        Op::Can, std::vector<std::uint32_t>{3, 4},
+        std::vector<double>{0.25, 0.15, 0.05});
+    circuit.addLayer(std::move(absorbers));
+
+    Layer idle2{LayerKind::OneQubit, {}};
+    for (std::uint32_t q = 0; q < 5; ++q)
+        idle2.insts.emplace_back(Op::Delay,
+                                 std::vector<std::uint32_t>{q},
+                                 std::vector<double>{500.0});
+    circuit.addLayer(std::move(idle2));
+
+    Layer measure{LayerKind::Dynamic, {}};
+    Instruction m(Op::Measure, {1});
+    m.cbit = 0;
+    measure.insts.push_back(m);
+    circuit.addLayer(std::move(measure));
+
+    Layer feedforward{LayerKind::Dynamic, {}};
+    Instruction fx(Op::X, {3});
+    fx.condBit = 0;
+    fx.condValue = 1;
+    feedforward.insts.push_back(fx);
+    circuit.addLayer(std::move(feedforward));
+
+    Layer tail{LayerKind::TwoQubit, {}};
+    tail.insts.emplace_back(Op::ECR,
+                            std::vector<std::uint32_t>{2, 3});
+    circuit.addLayer(std::move(tail));
+
+    return circuit;
+}
+
+/** Exact (bitwise) schedule equality, stricter than toString(). */
+void
+expectSameSchedule(const ScheduledCircuit &a,
+                   const ScheduledCircuit &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits()) << what;
+    ASSERT_EQ(a.numClbits(), b.numClbits()) << what;
+    ASSERT_EQ(a.instructions().size(), b.instructions().size())
+        << what << "\n"
+        << a.toString() << "\nvs\n"
+        << b.toString();
+    for (std::size_t i = 0; i < a.instructions().size(); ++i) {
+        const TimedInstruction &ta = a.instructions()[i];
+        const TimedInstruction &tb = b.instructions()[i];
+        ASSERT_TRUE(ta.start == tb.start &&
+                    ta.duration == tb.duration &&
+                    ta.inst.op == tb.inst.op &&
+                    ta.inst.qubits == tb.inst.qubits &&
+                    ta.inst.params == tb.inst.params &&
+                    ta.inst.cbit == tb.inst.cbit &&
+                    ta.inst.condBit == tb.inst.condBit &&
+                    ta.inst.condValue == tb.inst.condValue &&
+                    ta.inst.tag == tb.inst.tag)
+            << what << ": instruction " << i << "\n  "
+            << ta.inst.toString() << " @ [" << ta.start << ", "
+            << ta.end() << ")\nvs\n  " << tb.inst.toString()
+            << " @ [" << tb.start << ", " << tb.end() << ")";
+    }
+}
+
+EnsembleResult
+runCaecStrategy(const CompileOptions &options,
+                const LayeredCircuit &circuit,
+                const Backend &backend, int instances,
+                std::uint64_t seed, unsigned threads)
+{
+    PassManager pipeline = buildPipeline(options);
+    EnsembleOptions ensemble;
+    ensemble.instances = instances;
+    ensemble.seed = seed;
+    ensemble.threads = threads;
+    return pipeline.runEnsemble(circuit, backend, ensemble);
+}
+
+TEST(CaEcScheduled, ByteIdenticalToLegacyForEveryCaecStrategy)
+{
+    const Backend backend = makeFakeLinear(5, 7);
+    const LayeredCircuit circuit = scheduledWalkWorkload();
+    const int instances = 6;
+    const std::uint64_t seed = 4242;
+
+    for (Strategy strategy : caecStrategies()) {
+        for (bool native : {false, true}) {
+            CompileOptions first;
+            first.strategy = strategy;
+            first.lowerToNative = native;
+            first.lateTwirl = false;
+            const EnsembleResult reference = runCaecStrategy(
+                first, circuit, backend, instances, seed, 1);
+
+            CompileOptions late;
+            late.strategy = strategy;
+            late.lowerToNative = native;
+            for (unsigned threads : {1u, 8u}) {
+                const EnsembleResult result =
+                    runCaecStrategy(late, circuit, backend,
+                                    instances, seed, threads);
+                EXPECT_GT(result.prefixHits, 0u);
+                ASSERT_EQ(result.instances.size(),
+                          reference.instances.size());
+                for (std::size_t k = 0;
+                     k < result.instances.size(); ++k)
+                    expectSameSchedule(
+                        result.instances[k].scheduled,
+                        reference.instances[k].scheduled,
+                        strategyName(strategy) +
+                            (native ? " native" : "") +
+                            " instance " + std::to_string(k) +
+                            " threads " +
+                            std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(CaEcScheduled, DynamicRuleMatchesLegacy)
+{
+    // Fig. 9b: pairs accumulating across a measurement discharge as
+    // outcome-conditioned rz rules.  The scheduled walk must emit
+    // the identical conditional instructions the layered walk does,
+    // and they must actually be present in the compiled schedule.
+    const Backend backend = makeFakeLinear(5, 7);
+    const LayeredCircuit circuit = scheduledWalkWorkload();
+
+    CompileOptions first;
+    first.strategy = Strategy::Ec;
+    first.lateTwirl = false;
+    const EnsembleResult reference =
+        runCaecStrategy(first, circuit, backend, 4, 7, 1);
+
+    CompileOptions late;
+    late.strategy = Strategy::Ec;
+    const EnsembleResult result =
+        runCaecStrategy(late, circuit, backend, 4, 7, 1);
+
+    ASSERT_EQ(result.instances.size(),
+              reference.instances.size());
+    bool any_conditional = false;
+    for (std::size_t k = 0; k < result.instances.size(); ++k) {
+        expectSameSchedule(result.instances[k].scheduled,
+                           reference.instances[k].scheduled,
+                           "dynamic instance " +
+                               std::to_string(k));
+        for (const TimedInstruction &timed :
+             result.instances[k].scheduled.instructions())
+            any_conditional |=
+                timed.inst.op == Op::RZ &&
+                timed.inst.condBit >= 0 &&
+                timed.inst.tag == InstTag::Compensation;
+        const auto *stats =
+            result.instances[k].property<CaecStats>(
+                kCaecStatsKey);
+        ASSERT_NE(stats, nullptr);
+        EXPECT_GE(stats->conditionalRz, 1);
+    }
+    EXPECT_TRUE(any_conditional);
+}
+
+TEST(CaEcScheduled, ShardedMergesByteIdentical)
+{
+    // End to end through the sharded executor: the scheduled CA-EC
+    // pipeline's prefix snapshot must not perturb the shard
+    // determinism contract -- S shards merge bit-identically to the
+    // single-process run.
+    ShardSpec spec;
+    spec.logical = scheduledWalkWorkload();
+    for (std::uint32_t q = 0; q < 5; ++q)
+        spec.observables.push_back(
+            PauliString::single(5, q, PauliOp::Z));
+    spec.strategy = "ca-ec";
+    spec.backendQubits = 5;
+    spec.instances = 5;
+    spec.compileSeed = 21;
+    spec.trajectories = 33;
+    spec.seed = 77;
+
+    const Backend backend = spec.makeBackend();
+    PassManager pipeline = spec.makePipeline();
+    SimulationEngine engine(backend, NoiseModel::standard());
+    const RunResult reference = engine.runEnsemble(
+        spec.logical, pipeline, spec.observables,
+        spec.runOptions(/*threads=*/1));
+
+    for (std::uint32_t shards : {1u, 3u}) {
+        std::vector<ShardResult> results;
+        for (std::uint32_t k = 0; k < shards; ++k) {
+            ShardSpec shard = spec;
+            shard.shardIndex = k;
+            shard.shardCount = shards;
+            const ShardSpec remote =
+                ShardSpec::decode(shard.encode());
+            results.push_back(ShardResult::decode(
+                executeShard(remote, /*threads=*/1).encode()));
+        }
+        const RunResult merged = mergeShards(results);
+        ASSERT_EQ(merged.means.size(), reference.means.size());
+        EXPECT_EQ(merged.trajectories, reference.trajectories);
+        for (std::size_t k = 0; k < merged.means.size(); ++k) {
+            EXPECT_EQ(merged.means[k], reference.means[k])
+                << "S=" << shards << " mean " << k;
+            EXPECT_EQ(merged.stderrs[k], reference.stderrs[k])
+                << "S=" << shards << " stderr " << k;
+        }
+    }
 }
 
 } // namespace

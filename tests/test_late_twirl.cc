@@ -204,13 +204,13 @@ TEST(LateTwirl, EveryStockStrategyEngagesThePrefixCache)
         options.strategy = strategy;
         PassManager pipeline = buildPipeline(options);
 
-        // The CA-EC strategies keep twirl-first and only gain the
-        // twirl-plan prefix; everything else shares the full
-        // lowering front end.
+        // Every strategy shares the full lowering front end; the
+        // CA-EC strategies additionally capture their scheduled
+        // walk's blueprint in the prefix.
         const bool caec = strategy == Strategy::Ec ||
                           strategy == Strategy::EcAlignedDd ||
                           strategy == Strategy::Combined;
-        EXPECT_EQ(pipeline.stochasticPrefixLength(), caec ? 1u : 2u)
+        EXPECT_EQ(pipeline.stochasticPrefixLength(), caec ? 3u : 2u)
             << strategyName(strategy);
 
         for (unsigned threads : {1u, 8u}) {

@@ -132,14 +132,14 @@ TEST(PassManager, PassNamesAndContains)
     EXPECT_EQ(first.stochasticPrefixLength(), 1u);
 
     PassManager caec = buildPipeline(Strategy::Combined);
-    // CA-EC reads the frames at the layered stage, so its
-    // strategies keep the twirl-first ordering behind the
-    // twirl-plan prefix.
+    // CA-EC runs on the flat stream after late-twirl, fed by the
+    // deterministic ca-ec-plan blueprint, so the whole lowering
+    // front end sits in the prefix.
     const std::vector<std::string> combined{
-        "twirl-plan", "pauli-twirl", "ca-ec", "flatten",
-        "schedule-asap", "ca-dd"};
+        "twirl-plan", "ca-ec-plan", "flatten", "late-twirl",
+        "ca-ec", "schedule-asap", "ca-dd"};
     EXPECT_EQ(caec.passNames(), combined);
-    EXPECT_EQ(caec.stochasticPrefixLength(), 1u);
+    EXPECT_EQ(caec.stochasticPrefixLength(), 3u);
 
     PassManager bare = buildPipeline([] {
         CompileOptions options;

@@ -73,6 +73,8 @@ struct CliOptions
     std::string noise = "standard"; //!< noise recipe (docs/noise.md)
     bool twirl = true;
     bool lateTwirl = true; //!< false = historical twirl-first order
+    double caecMinAngle = -1.0; //!< < 0 = CaecOptions default
+    bool caecInsertRzz = true;  //!< allow explicit rzz insertions
     bool lowerToNative = false;
     bool analyzeIdle = false;
     bool dump = false;
@@ -110,9 +112,19 @@ usage(const char *prog)
         << "                    standard; pauli keeps twirled\n"
         << "                    circuits Clifford; docs/noise.md)\n"
         << "  --no-twirl        disable Pauli twirling\n"
-        << "  --twirl-first     twirl before lowering (historical\n"
-        << "                    ordering; schedules are identical,\n"
-        << "                    the prefix cache disengages)\n"
+        << "  --twirl-first     twirl -- and, for the CA-EC\n"
+        << "                    strategies, run the compensation\n"
+        << "                    walk -- before lowering (the\n"
+        << "                    historical A/B ordering; schedules\n"
+        << "                    are byte-identical for every\n"
+        << "                    strategy, the prefix cache\n"
+        << "                    disengages)\n"
+        << "  --caec-min-angle R  drop CA-EC compensations smaller\n"
+        << "                    than R radians (default "
+        << CaecOptions{}.minAngle << ")\n"
+        << "  --caec-no-rzz     never insert explicit rzz\n"
+        << "                    compensation pulses (absorb or\n"
+        << "                    drop instead)\n"
         << "  --hexfloat        print --simulate estimates as\n"
         << "                    bit-exact hexfloat (diffable)\n"
         << "  --native          lower to the native gate set\n"
@@ -154,6 +166,8 @@ main(int argc, char **argv)
             cli.twirl = false;
         } else if (std::strcmp(argv[i], "--twirl-first") == 0) {
             cli.lateTwirl = false;
+        } else if (std::strcmp(argv[i], "--caec-no-rzz") == 0) {
+            cli.caecInsertRzz = false;
         } else if (std::strcmp(argv[i], "--hexfloat") == 0) {
             cli.hexfloat = true;
         } else if (std::strcmp(argv[i], "--native") == 0) {
@@ -181,6 +195,9 @@ main(int argc, char **argv)
             cli.depth = int(bench::checkedInt(
                 "--depth", v, 0,
                 std::numeric_limits<int>::max()));
+        } else if (const char *v = value("--caec-min-angle")) {
+            cli.caecMinAngle =
+                bench::checkedPositiveDouble("--caec-min-angle", v);
         } else if (const char *v = value("--seed")) {
             cli.seed = bench::checkedUInt64("--seed", v);
         } else if (const char *v = value("--ensemble")) {
@@ -236,7 +253,13 @@ main(int argc, char **argv)
     options.twirl = cli.twirl;
     options.lateTwirl = cli.lateTwirl;
     options.lowerToNative = cli.lowerToNative;
+    if (cli.caecMinAngle >= 0.0)
+        options.caec.minAngle = cli.caecMinAngle;
+    options.caec.insertRzz = cli.caecInsertRzz;
 
+    const bool uses_caec = cli.strategy == Strategy::Ec ||
+                           cli.strategy == Strategy::EcAlignedDd ||
+                           cli.strategy == Strategy::Combined;
     PassManager pipeline = buildPipeline(options);
     if (cli.analyzeIdle)
         pipeline.emplace<IdleAnalysisPass>(
@@ -245,7 +268,19 @@ main(int argc, char **argv)
               << "\npipeline:";
     for (const std::string &name : pipeline.passNames())
         std::cout << " " << name;
-    std::cout << "\n\n";
+    // Every strategy routes through the same ordering now; the
+    // only split left is the lateTwirl A/B switch.
+    std::cout << "\nordering: "
+              << (cli.lateTwirl ? "late (deterministic prefix: "
+                : "twirl-first (prefix cache disengaged; "
+                  "deterministic prefix: ")
+              << pipeline.stochasticPrefixLength() << " of "
+              << pipeline.passNames().size() << " passes)\n";
+    if (uses_caec)
+        std::cout << "ca-ec options: min angle "
+                  << options.caec.minAngle << " rad, rzz insertion "
+                  << (options.caec.insertRzz ? "on" : "off") << "\n";
+    std::cout << "\n";
 
     if (cli.simulate) {
         // Fused compile->simulate: instances stream out of the
